@@ -1,0 +1,25 @@
+"""Benchmark-suite plumbing: every experiment's table is printed and also
+persisted under ``benchmarks/results/`` so the numbers survive pytest's
+output capture."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Save an ExperimentTable under benchmarks/results/ and print it."""
+
+    def _report(table):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        (RESULTS_DIR / f"{table.experiment}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return table
+
+    return _report

@@ -1,0 +1,12 @@
+"""E10 — buyer plan generator DP vs IDP-M(2,5).
+
+The paper's Section 3.6 variant: IDP prunes two-way entries to the best five, trading a little quality headroom for plan-generation time.
+"""
+
+from repro.bench.experiments import e10_plan_generator_variants
+
+
+def test_e10_plangen(benchmark, report):
+    table = benchmark.pedantic(e10_plan_generator_variants, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

@@ -1,0 +1,15 @@
+"""E11 — subcontracting (the extension Section 3.5 defers).
+
+In a federation where each node holds only one relation, vanilla QT must
+ship every base fragment to the buyer; subcontracting sellers buy the
+missing relation from peers, pre-join near the data, and sell the
+combined answer — cheaper plans at the price of more messages.
+"""
+
+from repro.bench.experiments import e11_subcontracting
+
+
+def test_e11_subcontracting(benchmark, report):
+    table = benchmark.pedantic(e11_subcontracting, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

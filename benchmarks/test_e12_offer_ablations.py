@@ -1,0 +1,14 @@
+"""E12 — seller offer-content ablation.
+
+What the modified DP's exported partials and the per-fragment offers each
+contribute: partials give the buyer pre-joined building blocks, fragment
+granularity makes disjoint covers assemblable in round one.
+"""
+
+from repro.bench.experiments import e12_offer_ablations
+
+
+def test_e12_offer_ablations(benchmark, report):
+    table = benchmark.pedantic(e12_offer_ablations, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

@@ -1,0 +1,15 @@
+"""E13 — market-based load balancing across repeated trades.
+
+Offers reflect the sellers' current workload, so when won contracts raise
+a node's load, the next trade drifts to idle replica holders — a
+decentralized load balancer emerging from pricing alone.
+"""
+
+from repro.bench.experiments import e13_load_balancing
+
+
+def test_e13_load_balancing(benchmark, report):
+    table = benchmark.pedantic(e13_load_balancing, rounds=1, iterations=1)
+    report(table)
+    off, on = table.rows
+    assert on[1] >= off[1]  # feedback spreads contracts over more sellers

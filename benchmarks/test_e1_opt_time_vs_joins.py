@@ -1,0 +1,12 @@
+"""E1 — optimization time vs. number of joins (QT vs DP vs IDP).
+
+The paper's central cost-of-optimization axis. QT grows mildly with query width; exhaustive distributed DP explodes; IDP-M(2,5) sits between.
+"""
+
+from repro.bench.experiments import e1_optimization_time_vs_joins
+
+
+def test_e1_opt_time_vs_joins(benchmark, report):
+    table = benchmark.pedantic(e1_optimization_time_vs_joins, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

@@ -1,0 +1,12 @@
+"""E2 — plan quality (cost / best-known) vs. number of joins.
+
+Full-knowledge DP is the quality reference; QT should stay within a small constant factor of it.
+"""
+
+from repro.bench.experiments import e2_plan_quality_vs_joins
+
+
+def test_e2_plan_quality_vs_joins(benchmark, report):
+    table = benchmark.pedantic(e2_plan_quality_vs_joins, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

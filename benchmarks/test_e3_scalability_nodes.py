@@ -1,0 +1,12 @@
+"""E3 — scalability with federation size.
+
+QT's sellers price their own shares in parallel, so its optimization time flattens while the traditional optimizer's centralized placement enumeration keeps growing — the crossover is the paper's headline.
+"""
+
+from repro.bench.experiments import e3_scalability_vs_nodes
+
+
+def test_e3_scalability_nodes(benchmark, report):
+    table = benchmark.pedantic(e3_scalability_vs_nodes, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

@@ -1,0 +1,12 @@
+"""E4 — horizontal partitions per relation.
+
+Finer partitioning multiplies tradable pieces (offers) and buyer plan-generation work.
+"""
+
+from repro.bench.experiments import e4_partitions_per_relation
+
+
+def test_e4_partitions(benchmark, report):
+    table = benchmark.pedantic(e4_partitions_per_relation, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

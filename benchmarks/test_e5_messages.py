@@ -1,0 +1,12 @@
+"""E5 — exchanged messages per optimizer.
+
+QT pays RFB/offer/award traffic for autonomy; traditional optimizers pay catalog statistics synchronization; Mariposa's single round is the floor.
+"""
+
+from repro.bench.experiments import e5_message_accounting
+
+
+def test_e5_messages(benchmark, report):
+    table = benchmark.pedantic(e5_message_accounting, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

@@ -1,0 +1,12 @@
+"""E6 — iterative convergence of the trading algorithm.
+
+The buyer predicates analyser derives new tradable queries each round; the best plan value is non-increasing and typically converges within 2–3 rounds.
+"""
+
+from repro.bench.experiments import e6_iteration_convergence
+
+
+def test_e6_convergence(benchmark, report):
+    table = benchmark.pedantic(e6_iteration_convergence, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

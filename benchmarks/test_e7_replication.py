@@ -1,0 +1,12 @@
+"""E7 — replication degree.
+
+More replicas mean more competing sellers per fragment; on heterogeneous nodes the winning offers get cheaper.
+"""
+
+from repro.bench.experiments import e7_replication_degree
+
+
+def test_e7_replication(benchmark, report):
+    table = benchmark.pedantic(e7_replication_degree, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

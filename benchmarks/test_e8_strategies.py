@@ -1,0 +1,12 @@
+"""E8 — cooperative vs. competitive strategies and protocols.
+
+Valuation includes money, so pricing strategies matter; adaptive sellers bid margins down over repeated trades.
+"""
+
+from repro.bench.experiments import e8_strategies
+
+
+def test_e8_strategies(benchmark, report):
+    table = benchmark.pedantic(e8_strategies, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

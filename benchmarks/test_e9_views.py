@@ -1,0 +1,12 @@
+"""E9 — seller predicates analyser (materialized views).
+
+The telecom scenario's per-(office, custid) charge view answers the manager's coarser aggregate by rollup — plan cost drops when views are on.
+"""
+
+from repro.bench.experiments import e9_materialized_views
+
+
+def test_e9_views(benchmark, report):
+    table = benchmark.pedantic(e9_materialized_views, rounds=1, iterations=1)
+    report(table)
+    assert table.rows

@@ -1,0 +1,93 @@
+"""Adaptive re-trading: recovering when a contracted seller fails.
+
+QT strikes *contracts* before any data moves, which makes re-planning
+after a node failure cheap: the buyer simply re-runs the trading
+negotiation with the failed node excluded from the market, and surviving
+replica holders win the re-auctioned parts.  (This is the base mechanism
+behind the paper's "contracting to model partial/adaptive query
+optimization" future-work item.)
+
+The script also demonstrates subcontracting (the §3.5 extension): in a
+federation where no node holds more than one relation, sellers purchase
+the missing relation from peers and sell pre-joined answers.
+
+Run with::
+
+    python examples/failure_recovery.py
+"""
+
+from repro.bench import build_world
+from repro.bench.experiments import build_split_federation_world
+from repro.execution import FederationData, PlanExecutor, evaluate_query
+from repro.net import Network
+from repro.trading import (
+    BuyerPlanGenerator,
+    QueryTrader,
+    SellerAgent,
+    Subcontractor,
+)
+from repro.workload import chain_query
+
+
+def failure_demo() -> None:
+    print("=== adaptive re-trading after a seller failure ===")
+    world = build_world(nodes=8, n_relations=2, rows=4_000, fragments=4,
+                        replicas=2, seed=5)
+    query = chain_query(2, selection_cat=3)
+    network = Network(world.model)
+    trader = QueryTrader(
+        "client",
+        world.seller_agents(),
+        network,
+        BuyerPlanGenerator(world.builder, "client"),
+    )
+    first = trader.optimize(query)
+    victim = first.contracts[0].seller
+    print(f"initial plan: cost {first.plan_cost:.4f}s, contracts with "
+          f"{sorted({c.seller for c in first.contracts})}")
+    print(f"node {victim!r} fails before delivery — re-trading without it")
+    second = trader.retrade_after_failure(query, {victim})
+    survivors = sorted({c.seller for c in second.contracts})
+    print(f"re-traded plan: cost {second.plan_cost:.4f}s, contracts with "
+          f"{survivors}")
+    assert victim not in survivors
+    data = FederationData.build(world.catalog, seed=5)
+    answer = PlanExecutor(data, query).run(second.best.plan)
+    assert answer.equals_unordered(evaluate_query(query, data))
+    print("re-traded plan executed and verified.\n")
+
+
+def subcontracting_demo() -> None:
+    print("=== subcontracting (Section 3.5 extension) ===")
+    world = build_split_federation_world()
+    query = chain_query(2, selection_cat=3)
+    for subcontracting in (False, True):
+        network = Network(world.model)
+        sellers = {}
+        for node in world.nodes:
+            if node == "client":
+                continue
+            sub = Subcontractor(network=network) if subcontracting else None
+            sellers[node] = SellerAgent(
+                world.catalog.local(node), world.builder, subcontractor=sub
+            )
+        if subcontracting:
+            for node, agent in sellers.items():
+                agent.subcontractor.connect(
+                    {m: a for m, a in sellers.items() if m != node}, network
+                )
+        trader = QueryTrader(
+            "client", sellers, network,
+            BuyerPlanGenerator(world.builder, "client"),
+        )
+        result = trader.optimize(query)
+        label = "with" if subcontracting else "without"
+        print(f"{label} subcontracting: plan cost {result.plan_cost:.4f}s, "
+              f"{result.messages.messages} messages")
+    print("\nsellers near the data buy the missing relation from peers and\n"
+          "sell pre-joined answers — better plans for more messages.")
+
+
+if __name__ == "__main__":
+    failure_demo()
+    subcontracting_demo()

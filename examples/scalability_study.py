@@ -1,0 +1,67 @@
+"""Scalability study: QT vs. traditional optimization as federations grow.
+
+A compact version of experiment E3: the same 3-join query optimized over
+federations of growing size (with data spread over proportionally more
+fragments).  The traditional optimizer must first synchronize statistics
+with every node and then enumerate placements centrally; QT broadcasts an
+RFB and lets the interested sellers price their own shares in parallel.
+Watch the crossover.
+
+Run with::
+
+    python examples/scalability_study.py
+"""
+
+from repro.bench import build_world, format_table, run_distidp, run_qt
+from repro.workload import chain_query
+
+
+def main() -> None:
+    rows = []
+    for nodes in (10, 25, 50, 100, 200):
+        world = build_world(
+            nodes=nodes,
+            n_relations=4,
+            fragments=max(4, nodes // 5),
+            replicas=2,
+            seed=7,
+        )
+        query = chain_query(3, selection_cat=3)
+        qt = run_qt(world, query, mode="idp")
+        idp = run_distidp(world, query)
+        rows.append(
+            [
+                nodes,
+                f"{qt.optimization_time:.4f}",
+                qt.messages,
+                f"{qt.plan_cost:.4f}",
+                f"{idp.optimization_time:.4f}",
+                idp.messages,
+                f"{idp.plan_cost:.4f}",
+            ]
+        )
+    print(
+        format_table(
+            "QT vs distributed IDP-M(2,5) as the federation grows",
+            [
+                "nodes",
+                "qt opt time",
+                "qt msgs",
+                "qt plan cost",
+                "idp opt time",
+                "idp msgs",
+                "idp plan cost",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nQT's simulated optimization time flattens (parallel seller-side"
+        "\npricing); the traditional optimizer keeps growing with the"
+        "\nfederation because every node must be consulted and every"
+        "\nplacement enumerated centrally."
+    )
+
+
+if __name__ == "__main__":
+    main()

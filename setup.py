@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that legacy editable
+installs (``pip install -e .``) work on environments whose setuptools
+cannot build PEP 660 editable wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""Query Trading (QT): distributed query optimization by query trading.
+
+A reproduction of Pentaris & Ioannidis, "Distributed Query Optimization
+by Query Trading" (EDBT 2004).  The public API re-exports the pieces a
+downstream user composes:
+
+* build a federation — :func:`repro.bench.build_world` or
+  :class:`repro.catalog.Catalog` directly,
+* express queries — :func:`repro.sql.parse_query` /
+  :class:`repro.sql.SPJQuery`,
+* trade — :class:`repro.trading.QueryTrader` with
+  :class:`repro.trading.SellerAgent` markets over a
+  :class:`repro.net.Network`,
+* validate — :mod:`repro.execution` runs the purchased plans.
+
+See README.md for a quickstart and DESIGN.md for the full system map.
+"""
+
+from repro.catalog import Catalog, FederationConfig, build_federation
+from repro.cost import (
+    CardinalityEstimator,
+    CostModel,
+    NetworkParameters,
+    NodeCapabilities,
+    stats_for_catalog,
+)
+from repro.net import Network
+from repro.optimizer import (
+    DynamicProgrammingOptimizer,
+    GreedyOptimizer,
+    IDPOptimizer,
+    PlanBuilder,
+)
+from repro.sql import SPJQuery, parse_query
+from repro.trading import (
+    BuyerPlanGenerator,
+    QueryTrader,
+    SellerAgent,
+    Subcontractor,
+    TradingResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "FederationConfig",
+    "build_federation",
+    "CardinalityEstimator",
+    "CostModel",
+    "NetworkParameters",
+    "NodeCapabilities",
+    "stats_for_catalog",
+    "Network",
+    "DynamicProgrammingOptimizer",
+    "GreedyOptimizer",
+    "IDPOptimizer",
+    "PlanBuilder",
+    "SPJQuery",
+    "parse_query",
+    "BuyerPlanGenerator",
+    "QueryTrader",
+    "SellerAgent",
+    "Subcontractor",
+    "TradingResult",
+    "__version__",
+]

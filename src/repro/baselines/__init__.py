@@ -1,0 +1,26 @@
+"""Traditional distributed query optimizers used as experimental baselines.
+
+The paper compares QT against "some of the currently most efficient
+techniques for distributed query optimization": System-R-style
+distributed dynamic programming and Iterative Dynamic Programming
+(IDP-M(2,5), Kossmann & Stocker).  Both require what QT explicitly does
+not: *full knowledge* of the federation's catalog — data placement,
+statistics, and node capabilities — which in a real autonomous federation
+must be collected (and kept fresh) via statistics synchronization
+messages from every node.  A Mariposa-style single-shot budget auction is
+included as the economic-paradigm ancestor.
+"""
+
+from repro.baselines.distributed_dp import (
+    BaselineResult,
+    DistributedDPOptimizer,
+)
+from repro.baselines.distributed_idp import DistributedIDPOptimizer
+from repro.baselines.mariposa import MariposaBroker
+
+__all__ = [
+    "BaselineResult",
+    "DistributedDPOptimizer",
+    "DistributedIDPOptimizer",
+    "MariposaBroker",
+]

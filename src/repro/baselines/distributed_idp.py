@@ -1,0 +1,43 @@
+"""Distributed IDP-M(2, m): the scalable traditional baseline.
+
+Identical to :class:`~repro.baselines.distributed_dp.DistributedDPOptimizer`
+except that, "after evaluating all 2-way join sub-plans, it keeps the
+best five of them throwing away all other 2-way join sub-plans, and then
+it continues processing like the DP algorithm" (Section 3.6).  The greedy
+fallback inherited from the base class completes the plan when pruning
+severed every exact assembly path.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.distributed_dp import DistributedDPOptimizer
+from repro.optimizer.plans import Plan
+
+__all__ = ["DistributedIDPOptimizer"]
+
+
+class DistributedIDPOptimizer(DistributedDPOptimizer):
+    """IDP-M(k, m) over (alias subset, site) states."""
+
+    def __init__(self, *args, k: int = 2, m: int = 5, **kwargs):
+        kwargs.setdefault("max_relations", 24)
+        super().__init__(*args, **kwargs)
+        if k < 2 or m < 1:
+            raise ValueError("need k >= 2 and m >= 1")
+        self.k = k
+        self.m = m
+        self.name = f"dist-idp-m({k},{m})"
+
+    def prune_level(
+        self,
+        level: int,
+        best: dict[tuple[frozenset[str], str], Plan],
+    ) -> None:
+        if level < 2 or level > self.k:
+            return
+        this_level = [key for key in best if len(key[0]) == level]
+        if len(this_level) <= self.m:
+            return
+        ranked = sorted(this_level, key=lambda key: best[key].response_time())
+        for key in ranked[self.m :]:
+            del best[key]

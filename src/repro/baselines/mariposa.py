@@ -1,0 +1,171 @@
+"""A Mariposa-style single-shot budget broker.
+
+Mariposa (Stonebraker et al.) pioneered the economic paradigm QT builds
+on, with a crucial structural difference the paper exploits: in Mariposa
+the *broker* fragments the query up front and runs a **single** bidding
+round per fragment — sellers cannot reshape the requests (no partial
+query constructor), there is no iterative enrichment of the query set,
+and no multi-relation offers (the broker buys per-fragment answers and
+performs every join itself).
+
+This baseline implements that: per-relation sub-queries, one sealed-bid
+round, cheapest disjoint coverage per relation, greedy join at the buyer.
+Fewer messages than QT, systematically worse plans — the gap is QT's
+contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.baselines.distributed_dp import BaselineResult
+from repro.net.simulator import Network
+from repro.optimizer.greedy import greedy_join
+from repro.optimizer.plans import Plan, PlanBuilder
+from repro.sql.expr import restriction_overlaps
+from repro.sql.query import Aggregate, SPJQuery
+from repro.trading.buyer import BuyerPlanGenerator
+from repro.trading.commodity import Offer, RequestForBids
+from repro.trading.protocols import BiddingProtocol
+from repro.trading.seller import SellerAgent
+
+__all__ = ["MariposaBroker"]
+
+
+class MariposaBroker:
+    """Single-round, broker-fragmented economic optimizer."""
+
+    name = "mariposa"
+
+    def __init__(
+        self,
+        buyer: str,
+        sellers: Mapping[str, SellerAgent],
+        network: Network,
+        builder: PlanBuilder,
+        seconds_per_plan: float = 5e-5,
+    ):
+        self.buyer = buyer
+        self.sellers = dict(sellers)
+        self.network = network
+        self.builder = builder
+        self.seconds_per_plan = seconds_per_plan
+        self._protocol = BiddingProtocol()
+
+    # ------------------------------------------------------------------
+    def optimize(self, query: SPJQuery) -> BaselineResult:
+        net = self.network
+        start_time = net.now
+        start_stats = net.stats.snapshot()
+        alias_to_relation = {r.alias: r.name for r in query.relations}
+
+        # Broker-side fragmentation: one sub-query per relation.
+        if len(query.relations) == 1:
+            requests = [query]
+        else:
+            requests = [
+                sub
+                for ref in query.relations
+                if (sub := query.subquery_on((ref.alias,))) is not None
+            ]
+        rfb = RequestForBids(
+            buyer=self.buyer, queries=tuple(requests), round_number=1
+        )
+        solicited = self._protocol.solicit(net, self.buyer, self.sellers, rfb)
+
+        # Cheapest disjoint coverage per relation.
+        enumerated = 0
+        parts: dict[frozenset[str], Plan] = {}
+        feasible = True
+        for ref in query.relations:
+            scheme = self.builder.schemes[ref.name]
+            selection = query.selection_on(ref.alias)
+            required = frozenset(
+                f.fragment_id
+                for f in scheme.fragments
+                if restriction_overlaps(selection, f.restriction_for(ref.alias))
+            )
+            relevant = sorted(
+                (
+                    o
+                    for o in solicited.offers
+                    if set(o.coverage) == {ref.alias}
+                ),
+                key=lambda o: o.properties.total_time
+                / max(1, len(o.coverage[ref.alias])),
+            )
+            chosen: list[Offer] = []
+            covered: frozenset[int] = frozenset()
+            for offer in relevant:
+                enumerated += 1
+                fids = frozenset(offer.coverage[ref.alias]) & required
+                if not fids or fids & covered:
+                    continue
+                chosen.append(offer)
+                covered |= fids
+                if covered >= required:
+                    break
+            if covered < required:
+                feasible = False
+                break
+            leaves = [
+                self.builder.purchased(
+                    o.query,
+                    o.seller,
+                    rows=o.properties.rows,
+                    total_time=o.properties.total_time,
+                    coverage={ref.alias: frozenset(o.coverage[ref.alias])},
+                    buyer_site=self.buyer,
+                    offer_id=o.offer_id,
+                    money=o.properties.money,
+                )
+                for o in chosen
+            ]
+            parts[frozenset((ref.alias,))] = self.builder.union(
+                leaves, self.buyer
+            )
+            enumerated += len(leaves)
+
+        plan: Plan | None = None
+        if feasible and parts:
+            plan, extra = greedy_join(
+                parts,
+                query.predicate.conjuncts(),
+                alias_to_relation,
+                self.builder,
+                self.buyer,
+            )
+            enumerated += extra
+            if plan is not None:
+                plan = self._finish(query, plan, alias_to_relation)
+
+        work = enumerated * self.seconds_per_plan
+        finish = net.compute(self.buyer, work)
+        net.sim.schedule_at(finish, lambda: None)
+        net.run()
+        return BaselineResult(
+            query=query,
+            plan=plan,
+            enumerated=enumerated,
+            optimization_time=net.now - start_time,
+            messages=net.stats.delta_since(start_stats),
+        )
+
+    def _finish(
+        self,
+        query: SPJQuery,
+        plan: Plan,
+        alias_to_relation: Mapping[str, str],
+    ) -> Plan:
+        if query.has_aggregates or query.group_by:
+            aggregates = tuple(
+                p for p in query.projections if isinstance(p, Aggregate)
+            )
+            plan = self.builder.aggregate(
+                plan, query.group_by, aggregates, alias_to_relation,
+                site=self.buyer,
+            )
+        if query.order_by:
+            plan = self.builder.sort(plan, query.order_by)
+        return plan

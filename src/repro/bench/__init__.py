@@ -1,0 +1,25 @@
+"""Benchmark harness: worlds, runners, and the E1–E10 experiment suite."""
+
+from repro.bench.harness import (
+    Measurement,
+    World,
+    build_world,
+    format_table,
+    run_distdp,
+    run_distidp,
+    run_mariposa,
+    run_qt,
+)
+from repro.bench import experiments
+
+__all__ = [
+    "Measurement",
+    "World",
+    "build_world",
+    "format_table",
+    "run_distdp",
+    "run_distidp",
+    "run_mariposa",
+    "run_qt",
+    "experiments",
+]

@@ -1,0 +1,248 @@
+"""Shared experiment plumbing: build federations, run optimizers, format
+the tables the paper-style experiment suite reports.
+
+Every runner returns a :class:`Measurement` with the three quantities the
+paper's evaluation revolves around:
+
+* ``optimization_time`` — *simulated* seconds spent optimizing (message
+  delays + per-node compute charged from enumerated-plan counts; fully
+  deterministic and machine-independent),
+* ``messages`` — exchanged network messages,
+* ``plan_cost`` — the estimated response time of the produced plan under
+  the shared ground-truth cost model (comparable across optimizers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.baselines import (
+    DistributedDPOptimizer,
+    DistributedIDPOptimizer,
+    MariposaBroker,
+)
+from repro.catalog import Catalog, FederationConfig, build_federation
+from repro.cost import (
+    CardinalityEstimator,
+    CostModel,
+    NodeCapabilities,
+    stats_for_catalog,
+)
+from repro.net import Network
+from repro.optimizer import PlanBuilder
+from repro.sql.query import SPJQuery
+from repro.trading import (
+    BuyerPlanGenerator,
+    BuyerStrategy,
+    NegotiationProtocol,
+    QueryTrader,
+    SellerAgent,
+    SellerStrategy,
+)
+
+__all__ = [
+    "World",
+    "Measurement",
+    "build_world",
+    "run_qt",
+    "run_distdp",
+    "run_distidp",
+    "run_mariposa",
+    "format_table",
+]
+
+BUYER = "client"
+
+
+@dataclass
+class World:
+    """A federation ready for optimizing: catalog + costing plumbing."""
+
+    catalog: Catalog
+    nodes: list[str]
+    builder: PlanBuilder
+    model: CostModel
+
+    def seller_agents(
+        self,
+        strategy_factory: Callable[[str], SellerStrategy] | None = None,
+        **agent_kwargs,
+    ) -> dict[str, SellerAgent]:
+        agents: dict[str, SellerAgent] = {}
+        for node in self.nodes:
+            if node == BUYER:
+                continue
+            strategy = strategy_factory(node) if strategy_factory else None
+            agents[node] = SellerAgent(
+                self.catalog.local(node),
+                self.builder,
+                strategy=strategy,
+                **agent_kwargs,
+            )
+        return agents
+
+
+def build_world(
+    nodes: int = 12,
+    n_relations: int = 6,
+    rows: int = 10_000,
+    fragments: int = 4,
+    replicas: int = 2,
+    seed: int = 7,
+    capabilities: Mapping[str, NodeCapabilities] | None = None,
+) -> World:
+    """A uniform synthetic federation with shared costing machinery."""
+    config = FederationConfig.uniform(
+        nodes=nodes,
+        n_relations=n_relations,
+        rows=rows,
+        fragments=fragments,
+        replicas=replicas,
+        seed=seed,
+    )
+    catalog, node_list = build_federation(config)
+    estimator = CardinalityEstimator(stats_for_catalog(catalog), catalog.schemas)
+    model = CostModel()
+    builder = PlanBuilder(
+        estimator, model, capabilities=capabilities, schemes=catalog.schemes
+    )
+    return World(catalog=catalog, nodes=node_list, builder=builder, model=model)
+
+
+@dataclass
+class Measurement:
+    """One optimizer run's reportable quantities."""
+
+    optimizer: str
+    found: bool
+    plan_cost: float
+    optimization_time: float
+    messages: int
+    iterations: int = 1
+    offers: int = 0
+    payments: float = 0.0
+
+    def row(self) -> list:
+        return [
+            self.optimizer,
+            f"{self.plan_cost:.4f}" if self.found else "-",
+            f"{self.optimization_time:.4f}",
+            self.messages,
+        ]
+
+
+def run_qt(
+    world: World,
+    query: SPJQuery,
+    mode: str = "dp",
+    protocol: NegotiationProtocol | None = None,
+    strategy_factory: Callable[[str], SellerStrategy] | None = None,
+    buyer_strategy: BuyerStrategy | None = None,
+    label: str | None = None,
+    valuation=None,
+    max_iterations: int = 6,
+    subcontracting: bool = False,
+    **agent_kwargs,
+) -> Measurement:
+    """Run the QT optimizer over a fresh network; return its measurement."""
+    from repro.trading import Subcontractor
+
+    network = Network(world.model)
+    sellers = world.seller_agents(strategy_factory, **agent_kwargs)
+    if subcontracting:
+        for node, agent in sellers.items():
+            agent.subcontractor = Subcontractor(network=network)
+            agent.subcontractor.connect(
+                {m: peer for m, peer in sellers.items() if m != node}, network
+            )
+    plangen = BuyerPlanGenerator(
+        world.builder, BUYER, mode=mode, valuation=valuation
+    )
+    trader = QueryTrader(
+        BUYER,
+        sellers,
+        network,
+        plangen,
+        protocol=protocol,
+        buyer_strategy=buyer_strategy,
+        valuation=valuation,
+        max_iterations=max_iterations,
+    )
+    result = trader.optimize(query)
+    name = label or (f"qt-{mode}" + (f"+{protocol.name}" if protocol else ""))
+    return Measurement(
+        optimizer=name,
+        found=result.found,
+        plan_cost=result.plan_cost if result.found else float("inf"),
+        optimization_time=result.optimization_time,
+        messages=result.messages.messages,
+        iterations=result.iterations,
+        offers=result.offers_considered,
+        payments=result.total_payment,
+    )
+
+
+def run_distdp(world: World, query: SPJQuery) -> Measurement:
+    network = Network(world.model)
+    opt = DistributedDPOptimizer(world.catalog, world.builder, BUYER)
+    result = opt.optimize(query, network=network)
+    return Measurement(
+        optimizer=opt.name,
+        found=result.found,
+        plan_cost=result.plan_cost if result.found else float("inf"),
+        optimization_time=result.optimization_time,
+        messages=result.messages.messages,
+    )
+
+
+def run_distidp(
+    world: World, query: SPJQuery, k: int = 2, m: int = 5
+) -> Measurement:
+    network = Network(world.model)
+    opt = DistributedIDPOptimizer(world.catalog, world.builder, BUYER, k=k, m=m)
+    result = opt.optimize(query, network=network)
+    return Measurement(
+        optimizer=opt.name,
+        found=result.found,
+        plan_cost=result.plan_cost if result.found else float("inf"),
+        optimization_time=result.optimization_time,
+        messages=result.messages.messages,
+    )
+
+
+def run_mariposa(world: World, query: SPJQuery) -> Measurement:
+    network = Network(world.model)
+    sellers = world.seller_agents()
+    broker = MariposaBroker(BUYER, sellers, network, world.builder)
+    result = broker.optimize(query)
+    return Measurement(
+        optimizer=broker.name,
+        found=result.found,
+        plan_cost=result.plan_cost if result.found else float("inf"),
+        optimization_time=result.optimization_time,
+        messages=result.messages.messages,
+    )
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Fixed-width ASCII table (what the benchmark harness prints)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        title,
+        "=" * len(title),
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in rendered:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Catalogs: who stores which horizontal fragment, and table statistics.
+
+The *global* catalog is the simulator's ground truth about data placement
+(fragments, replicas, materialized views per node).  In the QT world no
+single node is assumed to know it — buyers discover placement implicitly
+through bidding — but the traditional baselines (distributed DP / IDP)
+are given the full catalog, exactly as classical optimizers require.
+"""
+
+from repro.catalog.catalog import Catalog, LocalCatalog
+from repro.catalog.datagen import (
+    FederationConfig,
+    build_federation,
+)
+
+__all__ = [
+    "Catalog",
+    "LocalCatalog",
+    "FederationConfig",
+    "build_federation",
+]

@@ -1,0 +1,173 @@
+"""Global and per-node catalogs for a federation of autonomous DBMSs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.sql.schema import Fragment, PartitionScheme, Relation
+from repro.sql.views import MaterializedView
+
+__all__ = ["Catalog", "LocalCatalog"]
+
+NodeId = str
+
+
+@dataclass(frozen=True)
+class LocalCatalog:
+    """What one node knows about its *own* data.
+
+    This is the only catalog a QT seller consults: the shared schemas and
+    partitioning scheme definitions (the federation's data dictionary),
+    the fragments physically present at the node, and its local
+    materialized views.
+    """
+
+    node: NodeId
+    schemas: Mapping[str, Relation]
+    schemes: Mapping[str, PartitionScheme]
+    held: Mapping[str, frozenset[int]]
+    views: tuple[MaterializedView, ...] = ()
+
+    def holds(self, relation: str, fragment_id: int | None = None) -> bool:
+        fragments = self.held.get(relation, frozenset())
+        if fragment_id is None:
+            return bool(fragments)
+        return fragment_id in fragments
+
+    def held_fragments(self, relation: str) -> tuple[Fragment, ...]:
+        scheme = self.schemes[relation]
+        return tuple(
+            scheme.fragment(fid)
+            for fid in sorted(self.held.get(relation, frozenset()))
+        )
+
+    def local_rows(self, relation: str) -> int:
+        return sum(f.row_count for f in self.held_fragments(relation))
+
+
+class Catalog:
+    """The federation's ground-truth catalog.
+
+    Tracks schemas, partitioning schemes, fragment placement (with
+    replication), and per-node materialized views.  Provides
+    :meth:`local` projections for sellers and full visibility for the
+    traditional-optimizer baselines.
+    """
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, Relation] = {}
+        self._schemes: dict[str, PartitionScheme] = {}
+        # (relation, fragment_id) -> set of nodes holding a replica
+        self._placement: dict[tuple[str, int], set[NodeId]] = {}
+        self._views: dict[NodeId, list[MaterializedView]] = {}
+        self._nodes: set[NodeId] = set()
+
+    # -- construction ----------------------------------------------------
+    def add_relation(
+        self, relation: Relation, scheme: PartitionScheme | None = None
+    ) -> None:
+        """Register a relation; defaults to an unpartitioned scheme."""
+        if relation.name in self._schemas:
+            raise ValueError(f"relation {relation.name!r} already registered")
+        if scheme is None:
+            scheme = PartitionScheme.single(relation.name)
+        if scheme.relation != relation.name:
+            raise ValueError("scheme/relation name mismatch")
+        if scheme.attribute is not None and not relation.has_attribute(
+            scheme.attribute
+        ):
+            raise ValueError(
+                f"partitioning attribute {scheme.attribute!r} "
+                f"not in {relation.name}"
+            )
+        self._schemas[relation.name] = relation
+        self._schemes[relation.name] = scheme
+        for fragment in scheme.fragments:
+            self._placement.setdefault(fragment.key, set())
+
+    def add_node(self, node: NodeId) -> None:
+        self._nodes.add(node)
+
+    def place(
+        self, relation: str, fragment_id: int, nodes: NodeId | Iterable[NodeId]
+    ) -> None:
+        """Record that *nodes* hold a replica of the given fragment."""
+        key = (relation, fragment_id)
+        if key not in self._placement:
+            raise KeyError(f"unknown fragment {key}")
+        if isinstance(nodes, str):
+            nodes = (nodes,)
+        for node in nodes:
+            self._nodes.add(node)
+            self._placement[key].add(node)
+
+    def add_view(self, node: NodeId, view: MaterializedView) -> None:
+        self._nodes.add(node)
+        self._views.setdefault(node, []).append(view)
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> None:
+        """Check that every fragment is placed on at least one node."""
+        missing = [key for key, nodes in self._placement.items() if not nodes]
+        if missing:
+            raise ValueError(f"unplaced fragments: {missing}")
+
+    # -- read access ---------------------------------------------------------
+    @property
+    def schemas(self) -> Mapping[str, Relation]:
+        return dict(self._schemas)
+
+    @property
+    def schemes(self) -> Mapping[str, PartitionScheme]:
+        return dict(self._schemes)
+
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        return frozenset(self._nodes)
+
+    def relation(self, name: str) -> Relation:
+        return self._schemas[name]
+
+    def scheme(self, name: str) -> PartitionScheme:
+        return self._schemes[name]
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._schemas))
+
+    def holders(self, relation: str, fragment_id: int) -> frozenset[NodeId]:
+        return frozenset(self._placement[(relation, fragment_id)])
+
+    def placements(self) -> Iterator[tuple[str, int, frozenset[NodeId]]]:
+        for (relation, fragment_id), nodes in sorted(self._placement.items()):
+            yield relation, fragment_id, frozenset(nodes)
+
+    def views_at(self, node: NodeId) -> tuple[MaterializedView, ...]:
+        return tuple(self._views.get(node, ()))
+
+    def held_by(self, node: NodeId) -> dict[str, frozenset[int]]:
+        held: dict[str, set[int]] = {}
+        for (relation, fragment_id), nodes in self._placement.items():
+            if node in nodes:
+                held.setdefault(relation, set()).add(fragment_id)
+        return {rel: frozenset(fids) for rel, fids in held.items()}
+
+    def local(self, node: NodeId) -> LocalCatalog:
+        """Project the ground truth onto what *node* itself stores."""
+        return LocalCatalog(
+            node=node,
+            schemas=self.schemas,
+            schemes=self.schemes,
+            held=self.held_by(node),
+            views=self.views_at(node),
+        )
+
+    def replication_factor(self, relation: str) -> float:
+        """Average number of replicas per fragment of *relation*."""
+        keys = [k for k in self._placement if k[0] == relation]
+        if not keys:
+            return 0.0
+        return sum(len(self._placement[k]) for k in keys) / len(keys)
+
+    def total_rows(self, relation: str) -> int:
+        return self._schemes[relation].total_rows

@@ -1,0 +1,218 @@
+"""Command-line interface: trade queries and regenerate experiments.
+
+Usage::
+
+    python -m repro trade "SELECT * FROM R0 r0 WHERE r0.cat = 3" \
+        --nodes 8 --relations 3 --fragments 4 --replicas 2
+    python -m repro telecom --offices 4 --views
+    python -m repro experiment E3 E9
+    python -m repro experiment --all
+    python -m repro list-experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.bench import build_world
+from repro.bench import experiments as experiments_module
+from repro.bench.experiments import ExperimentTable
+from repro.cost import CardinalityEstimator, CostModel
+from repro.execution import FederationData, PlanExecutor, evaluate_query
+from repro.execution.tables import materialize_catalog
+from repro.net import Network
+from repro.optimizer import PlanBuilder
+from repro.sql import ParseError, parse_query
+from repro.trading import BuyerPlanGenerator, QueryTrader, SellerAgent
+from repro.workload import build_telecom_scenario
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Registry of experiment id -> zero-argument callable producing a table.
+EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
+    "E1": experiments_module.e1_optimization_time_vs_joins,
+    "E2": experiments_module.e2_plan_quality_vs_joins,
+    "E3": experiments_module.e3_scalability_vs_nodes,
+    "E4": experiments_module.e4_partitions_per_relation,
+    "E5": experiments_module.e5_message_accounting,
+    "E6": experiments_module.e6_iteration_convergence,
+    "E7": experiments_module.e7_replication_degree,
+    "E8": experiments_module.e8_strategies,
+    "E9": experiments_module.e9_materialized_views,
+    "E10": experiments_module.e10_plan_generator_variants,
+    "E11": experiments_module.e11_subcontracting,
+    "E12": experiments_module.e12_offer_ablations,
+    "E13": experiments_module.e13_load_balancing,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Query Trading (QT): distributed query optimization by "
+            "trading query answers (Pentaris & Ioannidis, EDBT 2004)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trade = sub.add_parser(
+        "trade", help="optimize one SQL query over a synthetic federation"
+    )
+    trade.add_argument("sql", help="SPJ(+aggregate) query text")
+    trade.add_argument("--nodes", type=int, default=8)
+    trade.add_argument("--relations", type=int, default=3)
+    trade.add_argument("--rows", type=int, default=10_000)
+    trade.add_argument("--fragments", type=int, default=4)
+    trade.add_argument("--replicas", type=int, default=2)
+    trade.add_argument("--seed", type=int, default=7)
+    trade.add_argument(
+        "--plangen", choices=("dp", "idp"), default="dp",
+        help="buyer plan generator variant",
+    )
+    trade.add_argument(
+        "--execute", action="store_true",
+        help="materialize data, execute the plan, verify vs. centralized",
+    )
+
+    telecom = sub.add_parser(
+        "telecom", help="run the paper's motivating telecom scenario"
+    )
+    telecom.add_argument("--offices", type=int, default=4)
+    telecom.add_argument("--customers", type=int, default=1_000)
+    telecom.add_argument("--views", action="store_true",
+                         help="enable the §3.5 materialized views")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate experiment tables (E1..E11)"
+    )
+    experiment.add_argument("ids", nargs="*", help="experiment ids")
+    experiment.add_argument("--all", action="store_true",
+                            help="run the whole suite")
+
+    sub.add_parser("list-experiments", help="list available experiments")
+    return parser
+
+
+def _cmd_trade(args: argparse.Namespace) -> int:
+    world = build_world(
+        nodes=args.nodes,
+        n_relations=args.relations,
+        rows=args.rows,
+        fragments=args.fragments,
+        replicas=args.replicas,
+        seed=args.seed,
+    )
+    try:
+        query = parse_query(args.sql, world.catalog.schemas)
+    except ParseError as exc:
+        print(f"cannot parse query: {exc}", file=sys.stderr)
+        return 2
+    network = Network(world.model)
+    trader = QueryTrader(
+        "client",
+        world.seller_agents(),
+        network,
+        BuyerPlanGenerator(world.builder, "client", mode=args.plangen),
+    )
+    result = trader.optimize(query)
+    if not result.found:
+        print("no distributed plan could be negotiated", file=sys.stderr)
+        return 1
+    print(
+        f"negotiated in {result.iterations} round(s); "
+        f"{result.offers_considered} offers, "
+        f"{result.messages.messages} messages, "
+        f"{result.optimization_time:.4f}s simulated optimization time"
+    )
+    print(f"plan (estimated response time {result.plan_cost:.4f}s):")
+    print(result.best.plan.explain())
+    print("contracts:")
+    for contract in result.contracts:
+        print(" ", contract.describe())
+    if args.execute:
+        data = FederationData.build(world.catalog, seed=args.seed)
+        answer = PlanExecutor(data, query).run(result.best.plan)
+        reference = evaluate_query(query, data)
+        ok = answer.equals_unordered(reference)
+        print(f"execution check: {'MATCH' if ok else 'MISMATCH'} "
+              f"({len(answer.rows)} rows)")
+        if not ok:
+            return 1
+    return 0
+
+
+def _cmd_telecom(args: argparse.Namespace) -> int:
+    scenario = build_telecom_scenario(
+        n_offices=args.offices,
+        customers_per_office=args.customers,
+        with_views=args.views,
+    )
+    estimator = CardinalityEstimator(scenario.stats, scenario.catalog.schemas)
+    model = CostModel()
+    builder = PlanBuilder(estimator, model, schemes=scenario.catalog.schemes)
+    network = Network(model)
+    sellers = {
+        node: SellerAgent(scenario.catalog.local(node), builder)
+        for node in scenario.nodes
+    }
+    trader = QueryTrader(
+        "athens-client", sellers, network,
+        BuyerPlanGenerator(builder, "athens-client"),
+    )
+    query = scenario.manager_query()
+    print("query:", query.sql())
+    result = trader.optimize(query)
+    print(f"plan cost {result.plan_cost:.4f}s, "
+          f"{result.messages.messages} messages")
+    print(result.best.plan.explain())
+    data = FederationData(
+        scenario.catalog,
+        materialize_catalog(scenario.catalog, 0, scenario.row_factories),
+    )
+    answer = PlanExecutor(data, query).run(result.best.plan)
+    for row in answer.canonical():
+        print(" ", dict(zip(answer.columns, row)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = [i.upper() for i in args.ids]
+    if args.all:
+        ids = list(EXPERIMENTS)
+    if not ids:
+        print("no experiments selected (use ids or --all)", file=sys.stderr)
+        return 2
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        table = EXPERIMENTS[experiment_id]()
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for experiment_id, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:5s} {doc}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "trade": _cmd_trade,
+        "telecom": _cmd_telecom,
+        "experiment": _cmd_experiment,
+        "list-experiments": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Cost estimation substrate: node/network models and cardinalities.
+
+Sellers price their offers with their *local* optimizer and cost model
+(the paper stresses that offers "can be extremely precise, taking into
+account the available network resources and the current workload of
+sellers").  The same machinery, fed with full-catalog knowledge, powers
+the traditional-optimizer baselines so plan costs are comparable.
+"""
+
+from repro.cost.model import (
+    CostModel,
+    NetworkParameters,
+    NodeCapabilities,
+)
+from repro.cost.estimator import (
+    AttributeStats,
+    CardinalityEstimator,
+    StatsCatalog,
+    TableStats,
+    stats_for_catalog,
+)
+
+__all__ = [
+    "CostModel",
+    "NetworkParameters",
+    "NodeCapabilities",
+    "AttributeStats",
+    "CardinalityEstimator",
+    "StatsCatalog",
+    "TableStats",
+    "stats_for_catalog",
+]

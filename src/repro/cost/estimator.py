@@ -1,0 +1,251 @@
+"""Cardinality and selectivity estimation.
+
+Classic System-R style estimation under uniformity and independence
+assumptions: per-attribute statistics (distinct count, min/max), constant
+selectivities derived from them, join selectivity ``1/max(d1, d2)``.
+Fragment restrictions need no special treatment — a fragment predicate is
+just another conjunct whose selectivity the estimator prices (for the
+synthetic generator's partitions the estimate is exact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.sql.expr import (
+    And,
+    Column,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    Or,
+    TRUE,
+    FALSE,
+)
+from repro.sql.query import SPJQuery
+from repro.sql.schema import Relation
+
+__all__ = [
+    "AttributeStats",
+    "TableStats",
+    "StatsCatalog",
+    "CardinalityEstimator",
+    "stats_for_catalog",
+]
+
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class AttributeStats:
+    """Statistics for one attribute: distinct count and value range."""
+
+    distinct: int
+    low: float | None = None
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.distinct <= 0:
+            raise ValueError("distinct must be positive")
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one relation."""
+
+    row_count: int
+    attributes: Mapping[str, AttributeStats] = field(default_factory=dict)
+
+    def attribute(self, name: str) -> AttributeStats | None:
+        return self.attributes.get(name)
+
+
+StatsCatalog = Mapping[str, TableStats]
+
+
+def stats_for_catalog(catalog: Catalog) -> dict[str, TableStats]:
+    """Derive statistics for the synthetic generator's schema.
+
+    Knows the shapes produced by :mod:`repro.catalog.datagen`: ``id`` is a
+    dense key, ``ref*`` reference a key domain of similar size, ``part``
+    has one value per fragment, ``cat`` has low cardinality, ``val`` is a
+    continuous payload.  For relations outside that convention a uniform
+    default (distinct = rows, unknown range) is used.
+    """
+    stats: dict[str, TableStats] = {}
+    for name in catalog.relation_names():
+        relation = catalog.relation(name)
+        scheme = catalog.scheme(name)
+        rows = max(1, scheme.total_rows)
+        fragments = len(scheme.fragments)
+        attrs: dict[str, AttributeStats] = {}
+        for attribute in relation.attributes:
+            if attribute.name == "id":
+                attrs["id"] = AttributeStats(rows, 0, rows - 1)
+            elif attribute.name.startswith("ref"):
+                attrs[attribute.name] = AttributeStats(rows, 0, rows - 1)
+            elif attribute.name == "part":
+                attrs["part"] = AttributeStats(fragments, 0, fragments - 1)
+            elif attribute.name == "cat":
+                from repro.catalog.datagen import CATEGORY_CARDINALITY
+
+                attrs["cat"] = AttributeStats(
+                    CATEGORY_CARDINALITY, 0, CATEGORY_CARDINALITY - 1
+                )
+            elif attribute.dtype == "str":
+                attrs[attribute.name] = AttributeStats(max(1, rows // 10))
+            else:
+                attrs[attribute.name] = AttributeStats(rows, 0.0, 1.0)
+        stats[name] = TableStats(rows, attrs)
+    return stats
+
+
+class CardinalityEstimator:
+    """Estimates row counts of (sub)queries under a stats catalog."""
+
+    def __init__(self, stats: StatsCatalog, schemas: Mapping[str, Relation]):
+        self._stats = stats
+        self._schemas = schemas
+
+    # ------------------------------------------------------------------
+    def table_rows(self, relation: str) -> int:
+        stats = self._stats.get(relation)
+        return stats.row_count if stats else 1000
+
+    def _attr_stats(self, relation: str, attr: str) -> AttributeStats | None:
+        stats = self._stats.get(relation)
+        return stats.attribute(attr) if stats else None
+
+    # ------------------------------------------------------------------
+    def selectivity(
+        self, expr: Expr, alias_to_relation: Mapping[str, str]
+    ) -> float:
+        """Fraction of tuples satisfying *expr* (selections only).
+
+        Join conjuncts should be priced with :meth:`join_selectivity`;
+        passing them here treats them at the default equality selectivity.
+        """
+        if expr is TRUE:
+            return 1.0
+        if expr is FALSE:
+            return 0.0
+        if isinstance(expr, And):
+            sel = 1.0
+            for child in expr.children:
+                sel *= self.selectivity(child, alias_to_relation)
+            return sel
+        if isinstance(expr, Or):
+            keep = 1.0
+            for child in expr.children:
+                keep *= 1.0 - self.selectivity(child, alias_to_relation)
+            return 1.0 - keep
+        if isinstance(expr, Not):
+            return 1.0 - self.selectivity(expr.child, alias_to_relation)
+        if isinstance(expr, InList):
+            stats = self._column_stats(expr.col, alias_to_relation)
+            if stats is None:
+                return min(1.0, DEFAULT_EQ_SELECTIVITY * len(expr.values))
+            return min(1.0, len(expr.values) / stats.distinct)
+        if isinstance(expr, Comparison):
+            return self._comparison_selectivity(expr, alias_to_relation)
+        return DEFAULT_EQ_SELECTIVITY
+
+    def _column_stats(
+        self, col: Column, alias_to_relation: Mapping[str, str]
+    ) -> AttributeStats | None:
+        relation = alias_to_relation.get(col.table, col.table)
+        return self._attr_stats(relation, col.name)
+
+    def _comparison_selectivity(
+        self, cmp: Comparison, alias_to_relation: Mapping[str, str]
+    ) -> float:
+        norm = cmp.normalized()
+        if norm.is_join:
+            return self.join_selectivity(norm, alias_to_relation)
+        if not isinstance(norm.left, Column) or not isinstance(
+            norm.right, Literal
+        ):
+            return DEFAULT_EQ_SELECTIVITY
+        stats = self._column_stats(norm.left, alias_to_relation)
+        value = norm.right.value
+        if norm.op == "=":
+            return 1.0 / stats.distinct if stats else DEFAULT_EQ_SELECTIVITY
+        if norm.op == "!=":
+            return (
+                1.0 - 1.0 / stats.distinct if stats else 1 - DEFAULT_EQ_SELECTIVITY
+            )
+        # Range operators.
+        if (
+            stats is None
+            or stats.low is None
+            or stats.high is None
+            or not isinstance(value, (int, float))
+            or stats.high <= stats.low
+        ):
+            return DEFAULT_RANGE_SELECTIVITY
+        span = stats.high - stats.low
+        if norm.op in ("<", "<="):
+            fraction = (value - stats.low) / span
+        else:
+            fraction = (stats.high - value) / span
+        return min(1.0, max(0.0, fraction))
+
+    def join_selectivity(
+        self, cmp: Comparison, alias_to_relation: Mapping[str, str]
+    ) -> float:
+        """Selectivity of an equi-join conjunct: ``1/max(d_left, d_right)``."""
+        if not (
+            isinstance(cmp.left, Column) and isinstance(cmp.right, Column)
+        ):
+            return DEFAULT_EQ_SELECTIVITY
+        left = self._column_stats(cmp.left, alias_to_relation)
+        right = self._column_stats(cmp.right, alias_to_relation)
+        d1 = left.distinct if left else 100
+        d2 = right.distinct if right else 100
+        if cmp.op != "=":
+            return DEFAULT_RANGE_SELECTIVITY
+        return 1.0 / max(d1, d2, 1)
+
+    # ------------------------------------------------------------------
+    def query_rows(
+        self,
+        query: SPJQuery,
+        base_rows: Mapping[str, float] | None = None,
+    ) -> float:
+        """Estimated output cardinality of an SPJ(+aggregate) query.
+
+        *base_rows* overrides the per-alias input cardinalities (used when
+        a query ranges over a fragment subset whose size is known exactly
+        from the catalog rather than via predicate selectivity).
+        """
+        alias_to_relation = {r.alias: r.name for r in query.relations}
+        card = 1.0
+        for ref in query.relations:
+            if base_rows and ref.alias in base_rows:
+                card *= max(base_rows[ref.alias], 0.0)
+            else:
+                card *= self.table_rows(ref.name)
+        for conjunct in query.predicate.conjuncts():
+            card *= self.selectivity(conjunct, alias_to_relation)
+        card = max(card, 0.0)
+        if query.group_by:
+            groups = 1.0
+            for col in query.group_by:
+                stats = self._column_stats(col, alias_to_relation)
+                groups *= stats.distinct if stats else 10
+            card = min(card, groups)
+        elif query.has_aggregates:
+            card = 1.0  # scalar aggregate
+        return card
+
+    def distinct_values(
+        self, col: Column, alias_to_relation: Mapping[str, str]
+    ) -> int:
+        stats = self._column_stats(col, alias_to_relation)
+        return stats.distinct if stats else 10

@@ -1,0 +1,124 @@
+"""Node, network, and operator cost models.
+
+Costs are expressed in (simulated) seconds.  Each node has its own
+processing capabilities and a *load* factor — the paper emphasises that a
+seller's offer reflects "the available network resources and the current
+workload of sellers", and the competitive experiments (E8) rely on load
+moving prices.
+
+The model is deliberately simple and fully deterministic:
+
+* sequential scan:      rows_read / io_rate
+* predicate/projection: rows / cpu_rate
+* hash join:            (left + right + output) / cpu_rate
+* nested-loop join:     (left × right) / cpu_rate  (what DP must avoid)
+* sort:                 n·log2(n) / cpu_rate
+* group/aggregate:      rows / cpu_rate
+* union/merge:          rows / cpu_rate
+* network transfer:     latency + rows·row_bytes / bandwidth
+
+A load factor ``l`` scales effective node speed by ``1/(1+l)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["NodeCapabilities", "NetworkParameters", "CostModel"]
+
+
+@dataclass(frozen=True)
+class NodeCapabilities:
+    """Processing profile of one node."""
+
+    cpu_rate: float = 2e6  # tuples/second through CPU-bound operators
+    io_rate: float = 5e5  # tuples/second off storage
+    load: float = 0.0  # queued-work factor; 0 = idle
+    price_per_second: float = 1.0  # for monetary valuations
+
+    def __post_init__(self) -> None:
+        if self.cpu_rate <= 0 or self.io_rate <= 0:
+            raise ValueError("rates must be positive")
+        if self.load < 0:
+            raise ValueError("load cannot be negative")
+
+    @property
+    def slowdown(self) -> float:
+        return 1.0 + self.load
+
+    def with_load(self, load: float) -> "NodeCapabilities":
+        return replace(self, load=load)
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Shared network fabric parameters."""
+
+    latency: float = 0.02  # seconds per message
+    bandwidth: float = 1.25e7  # bytes/second (100 Mbit)
+    row_bytes: int = 100  # serialized tuple size
+    control_message_bytes: int = 1024  # RFBs, offers, awards
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("invalid network parameters")
+
+
+class CostModel:
+    """Computes operator times for a node/network configuration."""
+
+    def __init__(self, network: NetworkParameters | None = None):
+        self.network = network or NetworkParameters()
+
+    # -- local operators -------------------------------------------------
+    def scan(self, rows_read: float, caps: NodeCapabilities) -> float:
+        return rows_read / caps.io_rate * caps.slowdown
+
+    def cpu_pass(self, rows: float, caps: NodeCapabilities) -> float:
+        """One CPU pass over *rows* (filter, project, union, aggregate)."""
+        return rows / caps.cpu_rate * caps.slowdown
+
+    def hash_join(
+        self,
+        left_rows: float,
+        right_rows: float,
+        output_rows: float,
+        caps: NodeCapabilities,
+    ) -> float:
+        return (
+            (left_rows + right_rows + output_rows)
+            / caps.cpu_rate
+            * caps.slowdown
+        )
+
+    def nested_loop_join(
+        self, left_rows: float, right_rows: float, caps: NodeCapabilities
+    ) -> float:
+        return left_rows * right_rows / caps.cpu_rate * caps.slowdown
+
+    def sort(self, rows: float, caps: NodeCapabilities) -> float:
+        if rows <= 1:
+            return 1.0 / caps.cpu_rate
+        return rows * math.log2(rows) / caps.cpu_rate * caps.slowdown
+
+    # -- network -----------------------------------------------------------
+    def transfer(self, rows: float) -> float:
+        """Shipping *rows* result tuples across the network."""
+        return self.network.latency + rows * self.network.row_bytes / (
+            self.network.bandwidth
+        )
+
+    def control_message(self) -> float:
+        """Shipping one negotiation message (RFB, offer, award, ...)."""
+        return (
+            self.network.latency
+            + self.network.control_message_bytes / self.network.bandwidth
+        )
+
+    def result_bytes(self, rows: float) -> float:
+        return rows * self.network.row_bytes
+
+    # -- money ---------------------------------------------------------------
+    def monetary(self, seconds: float, caps: NodeCapabilities) -> float:
+        return seconds * caps.price_per_second

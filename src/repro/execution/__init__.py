@@ -1,0 +1,25 @@
+"""In-memory execution substrate.
+
+QT optimizes without moving data; this package exists to *validate* the
+plans it produces: it materializes synthetic fragment data consistent
+with the catalog, executes distributed plans (purchased answers + buyer
+glue operators), and provides a naive centralized reference evaluator so
+tests can assert that every traded plan computes exactly the same answer
+a single-site database would.
+"""
+
+from repro.execution.tables import Table, ResultSet, materialize_catalog
+from repro.execution.engine import (
+    FederationData,
+    PlanExecutor,
+    evaluate_query,
+)
+
+__all__ = [
+    "Table",
+    "ResultSet",
+    "materialize_catalog",
+    "FederationData",
+    "PlanExecutor",
+    "evaluate_query",
+]

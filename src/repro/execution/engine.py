@@ -1,0 +1,347 @@
+"""Plan execution and the centralized reference evaluator.
+
+Two entry points:
+
+* :func:`evaluate_query` — naive, obviously-correct evaluation of an
+  :class:`~repro.sql.query.SPJQuery` over fragment tables (optionally
+  restricted to a fragment coverage).  It is the ground truth the tests
+  compare against, and it also models what a *seller* ships when one of
+  its offers is executed.
+* :class:`PlanExecutor` — walks a physical plan produced by the QT buyer
+  (or a baseline optimizer), executing purchased leaves via the reference
+  evaluator and the glue operators (joins, unions, aggregation, sort)
+  directly, returning a :class:`ResultSet`.
+
+Together they close the loop: ``PlanExecutor(plan).run() ==
+evaluate_query(original_query)`` is the correctness invariant of the
+whole trading framework.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.execution.tables import ResultSet, Table, materialize_catalog
+from repro.optimizer.plans import (
+    FragmentScan,
+    GroupAgg,
+    HashJoin,
+    NestedLoopJoin,
+    Plan,
+    Purchased,
+    Sort,
+    Transfer,
+    Union,
+)
+from repro.sql.expr import Column, Comparison, Expr, TRUE
+from repro.sql.query import Aggregate, SPJQuery, Star
+from repro.sql.schema import Relation
+
+__all__ = ["FederationData", "evaluate_query", "PlanExecutor"]
+
+Row = dict[Column, object]
+
+
+@dataclass
+class FederationData:
+    """Materialized fragment content plus schema access."""
+
+    catalog: Catalog
+    tables: dict[tuple[str, int], Table]
+
+    @staticmethod
+    def build(catalog: Catalog, seed: int = 0) -> "FederationData":
+        return FederationData(catalog, materialize_catalog(catalog, seed))
+
+    def fragment_rows(
+        self, relation: str, fragment_ids: Iterable[int], alias: str
+    ) -> list[Row]:
+        rows: list[Row] = []
+        for fid in sorted(fragment_ids):
+            rows.extend(self.tables[(relation, fid)].rows_as_dicts(alias))
+        return rows
+
+    def relation_rows(self, relation: str, alias: str) -> list[Row]:
+        scheme = self.catalog.scheme(relation)
+        return self.fragment_rows(relation, scheme.fragment_ids, alias)
+
+
+# ----------------------------------------------------------------------
+# Reference evaluator
+# ----------------------------------------------------------------------
+def evaluate_query(
+    query: SPJQuery,
+    data: FederationData,
+    coverage: Mapping[str, frozenset[int]] | None = None,
+) -> ResultSet:
+    """Evaluate *query* naively over the federation's (global) data.
+
+    *coverage* restricts each alias to a fragment subset — exactly the
+    semantics of a seller's offer.  Joins use hashing on equi-conjuncts
+    where possible and fall back to filtering the cross product, so the
+    implementation stays small and auditable.
+    """
+    rows = _join_relations(query, data, coverage)
+    rows = [r for r in rows if query.predicate.evaluate(r)]
+    return _project(query, rows, data.catalog.schemas)
+
+
+def _join_relations(
+    query: SPJQuery,
+    data: FederationData,
+    coverage: Mapping[str, frozenset[int]] | None,
+) -> list[Row]:
+    current: list[Row] | None = None
+    joined_aliases: set[str] = set()
+    join_conjuncts = [
+        c
+        for c in query.predicate.conjuncts()
+        if isinstance(c, Comparison) and c.is_join and c.op == "="
+    ]
+    for ref in query.relations:
+        if coverage is not None and ref.alias in coverage:
+            rows = data.fragment_rows(ref.name, coverage[ref.alias], ref.alias)
+        else:
+            rows = data.relation_rows(ref.name, ref.alias)
+        # Pre-filter with this alias's own selections (perf nicety).
+        selection = query.selection_on(ref.alias)
+        if selection is not TRUE:
+            rows = [r for r in rows if selection.evaluate(r)]
+        if current is None:
+            current = rows
+            joined_aliases.add(ref.alias)
+            continue
+        # Find an equi conjunct linking the new alias to what's joined.
+        link = None
+        for conjunct in join_conjuncts:
+            tables = conjunct.tables()
+            if ref.alias in tables and (tables - {ref.alias}) <= joined_aliases:
+                link = conjunct
+                break
+        current = _hash_join(current, rows, link)
+        joined_aliases.add(ref.alias)
+    return current if current is not None else []
+
+
+def _hash_join(
+    left: list[Row], right: list[Row], conjunct: Comparison | None
+) -> list[Row]:
+    if conjunct is None:
+        return [{**l, **r} for l in left for r in right]
+    assert isinstance(conjunct.left, Column) and isinstance(
+        conjunct.right, Column
+    )
+    left_col, right_col = conjunct.left, conjunct.right
+    if left and left_col not in left[0]:
+        left_col, right_col = right_col, left_col
+    index: dict[object, list[Row]] = {}
+    for row in right:
+        index.setdefault(row[right_col], []).append(row)
+    out: list[Row] = []
+    for row in left:
+        for match in index.get(row[left_col], ()):
+            out.append({**row, **match})
+    return out
+
+
+def _expand_star(
+    query: SPJQuery, schemas: Mapping[str, Relation]
+) -> tuple[Column, ...]:
+    cols: list[Column] = []
+    for ref in query.relations:
+        for attribute in schemas[ref.name].attributes:
+            cols.append(Column(ref.alias, attribute.name))
+    return tuple(cols)
+
+
+def _item_name(item) -> str:
+    if isinstance(item, Column):
+        return f"{item.table}.{item.name}"
+    if isinstance(item, Aggregate):
+        return item.alias or item.sql()
+    raise TypeError(f"unexpected projection item {item!r}")
+
+
+def _project(
+    query: SPJQuery, rows: list[Row], schemas: Mapping[str, Relation]
+) -> ResultSet:
+    if query.has_aggregates or query.group_by:
+        return _aggregate_rows(query, rows)
+    if query.is_star:
+        cols = _expand_star(query, schemas)
+    else:
+        cols = tuple(query.projections)  # type: ignore[arg-type]
+    header = tuple(_item_name(c) for c in cols)
+    out = [tuple(r[c] for c in cols) for r in rows]
+    if query.distinct:
+        out = list(dict.fromkeys(out))
+    result = ResultSet(header, out)
+    if query.order_by:
+        result = _order(result, query.order_by, cols)
+    return result
+
+
+def _aggregate_rows(query: SPJQuery, rows: list[Row]) -> ResultSet:
+    groups: dict[tuple, list[Row]] = {}
+    for row in rows:
+        key = tuple(row[c] for c in query.group_by)
+        groups.setdefault(key, []).append(row)
+    if not query.group_by and not groups:
+        groups[()] = []
+    header = tuple(_item_name(item) for item in query.projections)
+    out: list[tuple] = []
+    for key, members in groups.items():
+        key_by_col = dict(zip(query.group_by, key))
+        record = []
+        for item in query.projections:
+            if isinstance(item, Column):
+                record.append(key_by_col[item])
+            elif isinstance(item, Aggregate):
+                record.append(_compute_aggregate(item, members))
+            else:
+                raise TypeError("SELECT * with aggregates is not valid")
+        out.append(tuple(record))
+    result = ResultSet(header, out)
+    if query.order_by:
+        result = _order(result, query.order_by, tuple(query.projections))
+    return result
+
+
+def _compute_aggregate(item: Aggregate, rows: list[Row]):
+    if item.func == "count":
+        if item.arg is None:
+            return len(rows)
+        return sum(1 for r in rows if r[item.arg] is not None)
+    values = [r[item.arg] for r in rows]
+    if not values:
+        return None
+    if item.func == "sum":
+        return sum(values)
+    if item.func == "min":
+        return min(values)
+    if item.func == "max":
+        return max(values)
+    if item.func == "avg":
+        return sum(values) / len(values)
+    raise ValueError(f"unknown aggregate {item.func}")
+
+
+def _order(
+    result: ResultSet, keys: Sequence[Column], items: Sequence
+) -> ResultSet:
+    positions = []
+    for key in keys:
+        for i, item in enumerate(items):
+            if item == key:
+                positions.append(i)
+                break
+        else:
+            raise ValueError(f"ORDER BY column {key.sql()} not in output")
+    rows = sorted(result.rows, key=lambda r: tuple(r[p] for p in positions))
+    return ResultSet(result.columns, rows, ordered=True)
+
+
+# ----------------------------------------------------------------------
+# Plan executor
+# ----------------------------------------------------------------------
+class PlanExecutor:
+    """Executes a physical plan against materialized federation data.
+
+    Raw sub-results are row dictionaries; purchased *final* answers (and
+    the finished plan) are :class:`ResultSet` values.  The executor is
+    deliberately independent of the cost model — it checks plan
+    *semantics*, not timing.
+    """
+
+    def __init__(self, data: FederationData, query: SPJQuery):
+        self.data = data
+        self.query = query
+        self.schemas = data.catalog.schemas
+
+    def run(self, plan: Plan) -> ResultSet:
+        value = self._execute(plan)
+        if isinstance(value, ResultSet):
+            if self.query.order_by and not value.ordered:
+                items = self._final_items()
+                value = _order(value, self.query.order_by, items)
+            return value
+        # Raw rows at the top: apply the original projections.
+        return _project(self.query, value, self.schemas)
+
+    def _final_items(self) -> tuple:
+        if self.query.is_star:
+            return _expand_star(self.query, self.schemas)
+        return tuple(self.query.projections)
+
+    # ------------------------------------------------------------------
+    def _execute(self, plan: Plan):
+        if isinstance(plan, Purchased):
+            return self._execute_purchased(plan)
+        if isinstance(plan, FragmentScan):
+            rows = self.data.fragment_rows(
+                plan.ref.name, plan.fragment_ids, plan.ref.alias
+            )
+            if plan.predicate is not TRUE:
+                rows = [r for r in rows if plan.predicate.evaluate(r)]
+            return rows
+        if isinstance(plan, (HashJoin, NestedLoopJoin)):
+            left = self._execute(plan.left)
+            right = self._execute(plan.right)
+            if isinstance(left, ResultSet) or isinstance(right, ResultSet):
+                raise TypeError("cannot join final answers")
+            out = []
+            condition = plan.condition
+            equi = None
+            for conjunct in condition.conjuncts():
+                if (
+                    isinstance(conjunct, Comparison)
+                    and conjunct.is_join
+                    and conjunct.op == "="
+                ):
+                    equi = conjunct
+                    break
+            joined = _hash_join(left, right, equi)
+            for row in joined:
+                if condition is TRUE or condition.evaluate(row):
+                    out.append(row)
+            return out
+        if isinstance(plan, Union):
+            parts = [self._execute(child) for child in plan.inputs]
+            if parts and isinstance(parts[0], ResultSet):
+                rows: list[tuple] = []
+                for part in parts:
+                    rows.extend(part.rows)
+                if plan.distinct:
+                    rows = list(dict.fromkeys(rows))
+                return ResultSet(parts[0].columns, rows)
+            merged: list[Row] = []
+            for part in parts:
+                merged.extend(part)
+            return merged
+        if isinstance(plan, GroupAgg):
+            rows = self._execute(plan.child)
+            if isinstance(rows, ResultSet):
+                raise TypeError("cannot re-aggregate a final answer")
+            return _aggregate_rows(self.query, rows)
+        if isinstance(plan, Sort):
+            value = self._execute(plan.child)
+            if isinstance(value, ResultSet):
+                return _order(value, plan.keys, self._final_items())
+            return value  # raw rows: ordering applied at projection time
+        if isinstance(plan, Transfer):
+            return self._execute(plan.child)
+        raise TypeError(f"cannot execute plan node {type(plan).__name__}")
+
+    def _execute_purchased(self, plan: Purchased):
+        coverage = {
+            alias: frozenset(fids) for alias, fids in plan.coverage.items()
+        }
+        if plan.query.is_star:
+            rows = _join_relations(plan.query, self.data, coverage)
+            return [
+                r for r in rows if plan.query.predicate.evaluate(r)
+            ]
+        return evaluate_query(plan.query, self.data, coverage)

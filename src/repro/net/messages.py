@@ -1,0 +1,46 @@
+"""Message vocabulary of the trading negotiation protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["MessageKind", "Message"]
+
+
+class MessageKind(Enum):
+    """The message types exchanged during query trading.
+
+    ``RFB``/``OFFER``/``AWARD`` implement bidding (the paper's default
+    protocol); ``COUNTER_OFFER``/``ACCEPT``/``REJECT`` support bargaining;
+    ``STATS_REQUEST``/``STATS_RESPONSE`` model the catalog/statistics
+    synchronization that *traditional* distributed optimizers require
+    before they can optimize anything (QT needs none).
+    """
+
+    RFB = "rfb"
+    OFFER = "offer"
+    NO_OFFER = "no_offer"
+    AWARD = "award"
+    REJECT = "reject"
+    COUNTER_OFFER = "counter_offer"
+    ACCEPT = "accept"
+    STATS_REQUEST = "stats_request"
+    STATS_RESPONSE = "stats_response"
+    DATA = "data"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message.
+
+    ``size_bytes`` drives the bandwidth component of delivery delay;
+    control messages default to the cost model's control message size.
+    """
+
+    kind: MessageKind
+    sender: str
+    recipient: str
+    payload: Any = None
+    size_bytes: int | None = None

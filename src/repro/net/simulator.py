@@ -1,0 +1,200 @@
+"""Deterministic discrete-event simulator with message/compute accounting.
+
+Two layers:
+
+* :class:`Simulator` — a bare event loop: schedule callables at absolute
+  simulated times, run until idle.  Ties are broken by insertion order,
+  so runs are fully deterministic.
+* :class:`Network` — the federation fabric on top: registered node
+  handlers, message delivery with latency + size/bandwidth delay,
+  per-node compute serialization (a node that accepts work is busy until
+  it finishes; concurrent work at *different* nodes overlaps), and
+  complete :class:`NetworkStats`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.cost.model import CostModel
+from repro.net.messages import Message, MessageKind
+
+__all__ = ["Simulator", "Network", "NetworkStats"]
+
+Handler = Callable[["Network", Message], None]
+
+
+class Simulator:
+    """Minimal deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run *fn* at ``now + delay`` (delay must be non-negative)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        self.schedule(max(0.0, when - self.now), fn)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Process events in time order until the queue drains."""
+        processed = 0
+        while self._queue:
+            when, _seq, fn = heapq.heappop(self._queue)
+            self.now = max(self.now, when)
+            fn()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError("simulation did not quiesce")
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class NetworkStats:
+    """Counters the experiments report."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_kind: dict[MessageKind, int] = field(default_factory=dict)
+
+    def record(self, message: Message, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+
+    def count(self, kind: MessageKind) -> int:
+        return self.by_kind.get(kind, 0)
+
+    def snapshot(self) -> "NetworkStats":
+        return NetworkStats(self.messages, self.bytes, dict(self.by_kind))
+
+    def delta_since(self, earlier: "NetworkStats") -> "NetworkStats":
+        by_kind = {
+            kind: count - earlier.by_kind.get(kind, 0)
+            for kind, count in self.by_kind.items()
+        }
+        return NetworkStats(
+            self.messages - earlier.messages,
+            self.bytes - earlier.bytes,
+            {k: v for k, v in by_kind.items() if v},
+        )
+
+
+class Network:
+    """Message fabric + per-node compute serialization.
+
+    Per-node compute: :meth:`compute` books *seconds* of work on a node,
+    starting no earlier than the node's current ``busy_until``, and
+    returns the completion time.  Handlers use it to model local
+    optimization/pricing effort; replies scheduled at the returned time
+    therefore reflect queueing at a busy seller while independent sellers
+    overlap — the source of QT's flat scaling in federation size.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None):
+        self.cost_model = cost_model or CostModel()
+        self.sim = Simulator()
+        self.stats = NetworkStats()
+        self._handlers: dict[str, Handler] = {}
+        self._busy_until: dict[str, float] = {}
+
+    # -- membership --------------------------------------------------------
+    def register(self, node: str, handler: Handler) -> None:
+        if node in self._handlers:
+            raise ValueError(f"node {node!r} already registered")
+        self._handlers[node] = handler
+
+    def unregister(self, node: str) -> None:
+        self._handlers.pop(node, None)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._handlers))
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def busy_until(self, node: str) -> float:
+        return self._busy_until.get(node, 0.0)
+
+    def compute(self, node: str, seconds: float) -> float:
+        """Book *seconds* of serialized work at *node*; returns finish time."""
+        if seconds < 0:
+            raise ValueError("compute time cannot be negative")
+        start = max(self.now, self.busy_until(node))
+        finish = start + seconds
+        self._busy_until[node] = finish
+        return finish
+
+    # -- messaging -----------------------------------------------------------
+    def message_delay(self, message: Message) -> float:
+        size = (
+            message.size_bytes
+            if message.size_bytes is not None
+            else self.cost_model.network.control_message_bytes
+        )
+        return (
+            self.cost_model.network.latency
+            + size / self.cost_model.network.bandwidth
+        )
+
+    def send(self, message: Message, earliest: float | None = None) -> None:
+        """Deliver *message* to its recipient's handler.
+
+        *earliest* (absolute simulated time) delays the send until e.g.
+        the sender finished computing its reply; delivery adds the
+        network delay on top.
+        """
+        if message.recipient not in self._handlers:
+            raise KeyError(f"unknown recipient {message.recipient!r}")
+        size = (
+            message.size_bytes
+            if message.size_bytes is not None
+            else self.cost_model.network.control_message_bytes
+        )
+        self.stats.record(message, size)
+        depart = max(self.now, earliest if earliest is not None else self.now)
+        deliver_at = depart + self.message_delay(message)
+
+        def _deliver() -> None:
+            handler = self._handlers.get(message.recipient)
+            if handler is not None:
+                handler(self, message)
+
+        self.sim.schedule_at(deliver_at, _deliver)
+
+    def broadcast(
+        self,
+        sender: str,
+        recipients: Mapping[str, Handler] | list[str],
+        kind: MessageKind,
+        payload,
+        earliest: float | None = None,
+    ) -> int:
+        """Send one message per recipient; returns how many were sent."""
+        count = 0
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            self.send(
+                Message(kind, sender, recipient, payload), earliest=earliest
+            )
+            count += 1
+        return count
+
+    def run(self) -> float:
+        return self.sim.run_until_idle()

@@ -1,0 +1,42 @@
+"""Single-site query optimizers and the physical plan algebra.
+
+Sellers use these optimizers to price their offers (Section 3.4: "the
+sellers use their local query optimizer to find the best possible local
+plan for each rewritten query"), and the modified dynamic-programming
+algorithm additionally emits the optimal 2-way, 3-way, ... partial plans
+that become extra offered queries.  The same algebra is reused by the
+buyer plan generator and by the traditional-optimizer baselines.
+"""
+
+from repro.optimizer.plans import (
+    FragmentScan,
+    GroupAgg,
+    HashJoin,
+    NestedLoopJoin,
+    Plan,
+    PlanBuilder,
+    Purchased,
+    Sort,
+    Transfer,
+    Union,
+)
+from repro.optimizer.dp import DPResult, DynamicProgrammingOptimizer
+from repro.optimizer.idp import IDPOptimizer
+from repro.optimizer.greedy import GreedyOptimizer
+
+__all__ = [
+    "FragmentScan",
+    "GroupAgg",
+    "HashJoin",
+    "NestedLoopJoin",
+    "Plan",
+    "PlanBuilder",
+    "Purchased",
+    "Sort",
+    "Transfer",
+    "Union",
+    "DPResult",
+    "DynamicProgrammingOptimizer",
+    "IDPOptimizer",
+    "GreedyOptimizer",
+]

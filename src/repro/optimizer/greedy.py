@@ -1,0 +1,130 @@
+"""Greedy join-order heuristic.
+
+Used (a) as a standalone scalable optimizer for very wide queries and
+(b) as the completion fallback for IDP when beam pruning has removed
+every exact way to assemble the full relation set.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.optimizer.dp import (
+    DPResult,
+    DynamicProgrammingOptimizer,
+    connecting_conjuncts,
+    _plan_cost,
+)
+from repro.optimizer.plans import Plan, PlanBuilder
+from repro.sql.expr import Expr
+from repro.sql.query import SPJQuery
+
+__all__ = ["GreedyOptimizer", "greedy_join"]
+
+
+def greedy_join(
+    parts: dict[frozenset[str], Plan],
+    conjuncts: Sequence[Expr],
+    alias_to_relation: Mapping[str, str],
+    builder: PlanBuilder,
+    site: str,
+) -> tuple[Plan | None, int]:
+    """Combine disjoint partial plans into one by repeated cheapest joins.
+
+    *parts* maps disjoint alias subsets to plans that jointly cover the
+    query.  Returns the combined plan and the number of join candidates
+    evaluated.  Connected joins are preferred; cross products are used
+    only when no connected pair exists.
+    """
+    working = dict(parts)
+    enumerated = 0
+    while len(working) > 1:
+        best_key: tuple[frozenset[str], frozenset[str]] | None = None
+        best_plan: Plan | None = None
+        best_connected = False
+        keys = sorted(working, key=sorted)
+        for i, left in enumerate(keys):
+            for right in keys[i + 1 :]:
+                connecting = connecting_conjuncts(conjuncts, left, right)
+                joined = builder.join(
+                    working[left],
+                    working[right],
+                    connecting,
+                    alias_to_relation,
+                    site=site,
+                )
+                enumerated += 1
+                connected = bool(connecting)
+                better = best_plan is None or (
+                    (connected, -_plan_cost(joined))
+                    > (best_connected, -_plan_cost(best_plan))
+                )
+                if better:
+                    best_key = (left, right)
+                    best_plan = joined
+                    best_connected = connected
+        assert best_key is not None and best_plan is not None
+        left, right = best_key
+        del working[left]
+        del working[right]
+        working[left | right] = best_plan
+    if not working:
+        return None, enumerated
+    (_, plan), = working.items()
+    return plan, enumerated
+
+
+class GreedyOptimizer(DynamicProgrammingOptimizer):
+    """Scans every relation, then greedily joins the cheapest pair."""
+
+    name = "greedy"
+
+    def __init__(self, builder: PlanBuilder):
+        super().__init__(builder, max_relations=10_000)
+
+    def optimize(
+        self,
+        query: SPJQuery,
+        site: str,
+        coverage=None,
+        finish: bool = True,
+    ) -> DPResult:
+        alias_to_relation = {r.alias: r.name for r in query.relations}
+        parts: dict[frozenset[str], Plan] = {}
+        enumerated = 0
+        from repro.sql.expr import TRUE, conjoin, implies
+
+        for ref in query.relations:
+            scheme = self.builder.schemes[ref.name]
+            fragment_ids = (
+                coverage.get(ref.alias, scheme.fragment_ids)
+                if coverage is not None
+                else scheme.fragment_ids
+            )
+            restriction = scheme.restriction_for(ref.alias, fragment_ids)
+            selection_parts = [
+                c
+                for c in query.selection_on(ref.alias).conjuncts()
+                if restriction is TRUE or not implies(restriction, c)
+            ]
+            parts[frozenset((ref.alias,))] = self.builder.scan(
+                ref,
+                fragment_ids,
+                conjoin(selection_parts),
+                site,
+                alias_to_relation,
+            )
+            enumerated += 1
+        plan, extra = greedy_join(
+            parts,
+            query.predicate.conjuncts(),
+            alias_to_relation,
+            self.builder,
+            site,
+        )
+        enumerated += extra
+        best = {frozenset(query.aliases): plan} if plan is not None else {}
+        best.update(parts)
+        if finish:
+            plan = self._finish(query, plan, alias_to_relation)
+        return DPResult(plan=plan, best=best, enumerated=enumerated)

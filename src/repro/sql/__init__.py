@@ -1,0 +1,83 @@
+"""Query model substrate: expressions, schemas, SPJ queries, parsing, rewriting.
+
+This package implements the relational query model that the Query-Trading
+(QT) optimizer negotiates over: select-project-join queries with optional
+grouping/aggregation, conjunctive predicates, horizontal-fragment
+restrictions, and the two query-level algorithms of the paper —
+
+* the seller-side *query rewrite* algorithm of Section 3.4 (restrict a query
+  to locally available fragments, dropping non-local relations), and
+* the *answering-queries-using-views* machinery of Sections 3.5/3.6 used by
+  the seller predicates analyser and the buyer plan generator.
+"""
+
+from repro.sql.expr import (
+    TRUE,
+    FALSE,
+    And,
+    Column,
+    Comparison,
+    DomainConstraint,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    Or,
+    analyze_conjunction,
+    column,
+    conjoin,
+    eq,
+    ge,
+    gt,
+    implies,
+    in_list,
+    le,
+    lit,
+    lt,
+    ne,
+)
+from repro.sql.schema import (
+    Attribute,
+    Fragment,
+    PartitionScheme,
+    Relation,
+    RelationRef,
+)
+from repro.sql.query import Aggregate, SPJQuery, Star
+from repro.sql.parser import parse_query, ParseError
+
+__all__ = [
+    "TRUE",
+    "FALSE",
+    "And",
+    "Column",
+    "Comparison",
+    "DomainConstraint",
+    "Expr",
+    "InList",
+    "Literal",
+    "Not",
+    "Or",
+    "analyze_conjunction",
+    "column",
+    "conjoin",
+    "eq",
+    "ge",
+    "gt",
+    "implies",
+    "in_list",
+    "le",
+    "lit",
+    "lt",
+    "ne",
+    "Attribute",
+    "Fragment",
+    "PartitionScheme",
+    "Relation",
+    "RelationRef",
+    "Aggregate",
+    "SPJQuery",
+    "Star",
+    "parse_query",
+    "ParseError",
+]

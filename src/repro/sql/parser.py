@@ -1,0 +1,366 @@
+"""A small SQL parser for the SPJ+aggregate subset traded by QT.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT [DISTINCT] items FROM tables [WHERE pred]
+                  [GROUP BY cols] [ORDER BY cols]
+    items      := item ("," item)*          | "*"
+    item       := col | AGG "(" (col|"*") ")" [AS name]
+    tables     := table ("," table)*
+    table      := name [alias]
+    pred       := disj
+    disj       := conj (OR conj)*
+    conj       := factor (AND factor)*
+    factor     := "(" pred ")" | NOT factor | cond
+    cond       := col op (literal|col) | col IN "(" literal ("," literal)* ")"
+    col        := name "." name | name          (unqualified resolved later)
+    literal    := number | "'string'"
+
+Unqualified column names are resolved against the FROM list using the
+relation schemas passed to :func:`parse_query`; ambiguity is an error.
+The parser exists for the examples, tests, and README quickstart — the
+optimizer itself works on :class:`~repro.sql.query.SPJQuery` objects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Sequence
+
+from repro.sql.expr import (
+    TRUE,
+    And,
+    Column,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    Or,
+)
+from repro.sql.query import Aggregate, SPJQuery, Star
+from repro.sql.schema import Relation, RelationRef
+
+__all__ = ["parse_query", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on any syntactic or name-resolution error."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'          # string literal
+      | \d+\.\d+                # float
+      | \d+                     # int
+      | <= | >= | != | <> | = | < | >
+      | [A-Za-z_][A-Za-z_0-9]*  # identifier / keyword
+      | [().,*]
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "order",
+    "by",
+    "and",
+    "or",
+    "not",
+    "in",
+    "as",
+    "true",
+    "false",
+}
+_AGGS = {"sum", "count", "min", "max", "avg"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"unexpected character at {text[pos:pos+10]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], schemas: Mapping[str, Relation]):
+        self.tokens = tokens
+        self.pos = 0
+        self.schemas = schemas
+        self.refs: list[RelationRef] = []
+
+    # -- token plumbing ------------------------------------------------
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def peek_kw(self) -> str | None:
+        tok = self.peek()
+        return tok.lower() if tok is not None else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, keyword: str) -> None:
+        tok = self.next()
+        if tok.lower() != keyword:
+            raise ParseError(f"expected {keyword.upper()!r}, got {tok!r}")
+
+    def accept(self, keyword: str) -> bool:
+        if self.peek_kw() == keyword:
+            self.pos += 1
+            return True
+        return False
+
+    # -- name resolution -------------------------------------------------
+    def resolve_column(self, first: str, second: str | None) -> Column:
+        if second is not None:
+            if not any(r.alias == first for r in self.refs):
+                raise ParseError(f"unknown alias {first!r}")
+            ref = next(r for r in self.refs if r.alias == first)
+            schema = self.schemas.get(ref.name)
+            if schema is not None and not schema.has_attribute(second):
+                raise ParseError(f"{ref.name} has no attribute {second!r}")
+            return Column(first, second)
+        owners = []
+        for ref in self.refs:
+            schema = self.schemas.get(ref.name)
+            if schema is not None and schema.has_attribute(first):
+                owners.append(ref)
+        if not owners:
+            raise ParseError(f"cannot resolve column {first!r}")
+        if len(owners) > 1:
+            raise ParseError(
+                f"ambiguous column {first!r} "
+                f"(in {[o.alias for o in owners]})"
+            )
+        return Column(owners[0].alias, first)
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> SPJQuery:
+        self.expect("select")
+        distinct = self.accept("distinct")
+        items_start = self.pos
+        # FROM must be parsed before projections resolve, so scan ahead.
+        depth = 0
+        while True:
+            tok = self.peek_kw()
+            if tok is None:
+                raise ParseError("missing FROM clause")
+            if tok == "(":
+                depth += 1
+            elif tok == ")":
+                depth -= 1
+            elif tok == "from" and depth == 0:
+                break
+            self.pos += 1
+        self.expect("from")
+        self.refs = self.parse_tables()
+        from_end = self.pos
+        # Re-parse the projection list now that refs are known.
+        self.pos = items_start
+        projections = self.parse_items()
+        self.pos = from_end
+
+        predicate: Expr = TRUE
+        if self.accept("where"):
+            predicate = self.parse_disjunction()
+        group_by: tuple[Column, ...] = ()
+        if self.accept("group"):
+            self.expect("by")
+            group_by = tuple(self.parse_column_list())
+        order_by: tuple[Column, ...] = ()
+        if self.accept("order"):
+            self.expect("by")
+            order_by = tuple(self.parse_column_list())
+        if self.peek() is not None:
+            raise ParseError(f"trailing tokens at {self.peek()!r}")
+        return SPJQuery(
+            relations=tuple(self.refs),
+            predicate=predicate,
+            projections=tuple(projections),
+            group_by=group_by,
+            order_by=order_by,
+            distinct=distinct,
+        )
+
+    def parse_tables(self) -> list[RelationRef]:
+        refs: list[RelationRef] = []
+        while True:
+            name = self.next()
+            if name.lower() in _KEYWORDS:
+                raise ParseError(f"expected table name, got {name!r}")
+            if name not in self.schemas:
+                raise ParseError(f"unknown relation {name!r}")
+            alias = name
+            tok = self.peek()
+            if (
+                tok is not None
+                and tok.lower() not in _KEYWORDS
+                and re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", tok)
+            ):
+                alias = self.next()
+            refs.append(RelationRef(name, alias))
+            if not self.accept(","):
+                break
+        aliases = [r.alias for r in refs]
+        if len(set(aliases)) != len(aliases):
+            raise ParseError(f"duplicate aliases: {aliases}")
+        return refs
+
+    def parse_items(self) -> list[Column | Aggregate | Star]:
+        if self.peek() == "*":
+            self.next()
+            return [Star()]
+        items: list[Column | Aggregate | Star] = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise ParseError("unexpected end of projection list")
+            low = tok.lower()
+            follows = (
+                self.tokens[self.pos + 1]
+                if self.pos + 1 < len(self.tokens)
+                else None
+            )
+            if low in _AGGS and follows == "(":
+                self.next()  # aggregate name
+                self.next()  # (
+                arg: Column | None = None
+                if self.peek() == "*":
+                    self.next()
+                    if low != "count":
+                        raise ParseError(f"{low.upper()}(*) is not valid")
+                else:
+                    arg = self.parse_column()
+                if self.next() != ")":
+                    raise ParseError("expected ')' after aggregate argument")
+                alias = None
+                if self.accept("as"):
+                    alias = self.next()
+                items.append(Aggregate(low, arg, alias))
+            else:
+                items.append(self.parse_column())
+            if not self.accept(","):
+                break
+        return items
+
+    def parse_column(self) -> Column:
+        first = self.next()
+        if (
+            not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", first)
+            or first.lower() in _KEYWORDS
+        ):
+            raise ParseError(f"expected column name, got {first!r}")
+        second = None
+        if self.peek() == ".":
+            self.next()
+            second = self.next()
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", second):
+                raise ParseError(f"expected attribute name, got {second!r}")
+        return self.resolve_column(first, second)
+
+    def parse_column_list(self) -> list[Column]:
+        cols = [self.parse_column()]
+        while self.accept(","):
+            cols.append(self.parse_column())
+        return cols
+
+    def parse_disjunction(self) -> Expr:
+        left = self.parse_conjunction()
+        terms = [left]
+        while self.accept("or"):
+            terms.append(self.parse_conjunction())
+        if len(terms) == 1:
+            return terms[0]
+        return Or(tuple(terms))
+
+    def parse_conjunction(self) -> Expr:
+        left = self.parse_factor()
+        terms = [left]
+        while self.accept("and"):
+            terms.append(self.parse_factor())
+        if len(terms) == 1:
+            return terms[0]
+        return And(tuple(terms))
+
+    def parse_factor(self) -> Expr:
+        if self.accept("not"):
+            return Not(self.parse_factor())
+        if self.peek() == "(":
+            self.next()
+            inner = self.parse_disjunction()
+            if self.next() != ")":
+                raise ParseError("expected ')'")
+            return inner
+        if self.accept("true"):
+            return TRUE
+        return self.parse_condition()
+
+    def parse_condition(self) -> Expr:
+        col = self.parse_column()
+        if self.accept("in"):
+            if self.next() != "(":
+                raise ParseError("expected '(' after IN")
+            values = [self.parse_literal()]
+            while self.accept(","):
+                values.append(self.parse_literal())
+            if self.next() != ")":
+                raise ParseError("expected ')' after IN list")
+            return InList(col, frozenset(v.value for v in values))
+        op = self.next()
+        if op == "<>":
+            op = "!="
+        if op not in ("=", "!=", "<", "<=", ">", ">="):
+            raise ParseError(f"expected comparison operator, got {op!r}")
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("missing right-hand side of comparison")
+        if tok.startswith("'") or re.fullmatch(r"\d+(\.\d+)?", tok):
+            rhs: Expr = self.parse_literal()
+        else:
+            rhs = self.parse_column()
+        return Comparison(op, col, rhs).normalized()
+
+    def parse_literal(self) -> Literal:
+        tok = self.next()
+        if tok.startswith("'"):
+            return Literal(tok[1:-1].replace("''", "'"))
+        if re.fullmatch(r"\d+\.\d+", tok):
+            return Literal(float(tok))
+        if re.fullmatch(r"\d+", tok):
+            return Literal(int(tok))
+        raise ParseError(f"expected literal, got {tok!r}")
+
+
+def parse_query(
+    text: str, schemas: Mapping[str, Relation] | Sequence[Relation]
+) -> SPJQuery:
+    """Parse SQL *text* against *schemas* into an :class:`SPJQuery`.
+
+    *schemas* may be a mapping ``name -> Relation`` or a sequence of
+    relations.  Raises :class:`ParseError` on bad syntax, unknown
+    relations/attributes, or ambiguous unqualified columns.
+    """
+    if not isinstance(schemas, Mapping):
+        schemas = {r.name: r for r in schemas}
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty query text")
+    return _Parser(tokens, schemas).parse()

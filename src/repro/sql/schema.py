@@ -1,0 +1,270 @@
+"""Logical schemas, horizontal fragments, and partition schemes.
+
+The paper's motivating setting is a federation whose relations are
+*horizontally partitioned and/or replicated* across autonomous nodes
+(Section 1: the telecom company's ``customer`` and ``invoiceline`` tables
+split across regional offices).  This module models that world:
+
+* :class:`Relation` — a named logical relation with typed attributes,
+* :class:`Fragment` — one horizontal fragment, defined by a restriction
+  predicate over the relation's tuples,
+* :class:`PartitionScheme` — the full set of fragments for one relation,
+  with list/range/hash/single constructors.
+
+Which node physically stores which fragment (and its replicas) is the
+catalog's business (:mod:`repro.catalog`); this module is purely logical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.sql.expr import (
+    TRUE,
+    Column,
+    Expr,
+    InList,
+    Value,
+    conjoin,
+    ge,
+    lt,
+)
+
+__all__ = [
+    "Attribute",
+    "Relation",
+    "RelationRef",
+    "Fragment",
+    "PartitionScheme",
+]
+
+_DTYPES = ("int", "float", "str")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A typed attribute of a relation."""
+
+    name: str
+    dtype: str = "int"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPES:
+            raise ValueError(
+                f"dtype must be one of {_DTYPES}, got {self.dtype!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A logical relation: name plus ordered, uniquely named attributes."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in {self.name}: {names}")
+        if not self.attributes:
+            raise ValueError(f"relation {self.name} has no attributes")
+
+    @staticmethod
+    def of(name: str, *attrs: str | tuple[str, str]) -> "Relation":
+        """Build a relation from ``"attr"`` (int) or ``("attr", dtype)`` specs."""
+        built = tuple(
+            Attribute(a) if isinstance(a, str) else Attribute(*a) for a in attrs
+        )
+        return Relation(name, built)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise KeyError(f"{self.name} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+
+@dataclass(frozen=True, order=True)
+class RelationRef:
+    """An occurrence of a relation in a query's FROM list (name + alias)."""
+
+    name: str
+    alias: str
+
+    @staticmethod
+    def of(name: str, alias: str | None = None) -> "RelationRef":
+        return RelationRef(name, alias or name)
+
+    def column(self, attr: str) -> Column:
+        return Column(self.alias, attr)
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One horizontal fragment of a relation.
+
+    ``predicate`` restricts the relation's tuples *in terms of a reference
+    aliased as the relation name itself* — callers rename it onto specific
+    query aliases via :meth:`restriction_for`.
+    """
+
+    relation: str
+    fragment_id: int
+    predicate: Expr
+    row_count: int = 0
+
+    def restriction_for(self, alias: str) -> Expr:
+        """The fragment predicate expressed against *alias*."""
+        if alias == self.relation:
+            return self.predicate
+        return self.predicate.rename_tables({self.relation: alias})
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.relation, self.fragment_id)
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """The complete horizontal partitioning of one relation.
+
+    Fragments must be pairwise disjoint and jointly cover the relation;
+    the constructors below guarantee this by building fragments from a
+    partition of the partitioning attribute's domain.  A relation that is
+    not partitioned uses :meth:`single`.
+    """
+
+    relation: str
+    attribute: str | None
+    fragments: tuple[Fragment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fragments:
+            raise ValueError(f"partition scheme for {self.relation} has no fragments")
+        ids = [f.fragment_id for f in self.fragments]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate fragment ids for {self.relation}")
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def single(relation: str, row_count: int = 0) -> "PartitionScheme":
+        """A relation stored whole (one fragment with predicate TRUE)."""
+        return PartitionScheme(
+            relation,
+            None,
+            (Fragment(relation, 0, TRUE, row_count),),
+        )
+
+    @staticmethod
+    def by_list(
+        relation: str,
+        attribute: str,
+        value_groups: Sequence[Iterable[Value]],
+        row_counts: Sequence[int] | None = None,
+    ) -> "PartitionScheme":
+        """List partitioning: fragment *i* holds rows whose *attribute* is
+        in ``value_groups[i]`` (e.g. ``office IN ('Corfu',)``)."""
+        col = Column(relation, attribute)
+        fragments = []
+        for i, group in enumerate(value_groups):
+            values = frozenset(group)
+            if not values:
+                raise ValueError("empty value group in list partitioning")
+            pred: Expr = InList(col, values).simplify()
+            rows = row_counts[i] if row_counts else 0
+            fragments.append(Fragment(relation, i, pred, rows))
+        return PartitionScheme(relation, attribute, tuple(fragments))
+
+    @staticmethod
+    def by_range(
+        relation: str,
+        attribute: str,
+        boundaries: Sequence[Value],
+        row_counts: Sequence[int] | None = None,
+    ) -> "PartitionScheme":
+        """Range partitioning with ``len(boundaries)+1`` fragments.
+
+        Fragment 0 is ``attr < b0``, fragment i is ``b(i-1) <= attr < b(i)``,
+        the last is ``attr >= b(last)``.
+        """
+        if not boundaries:
+            raise ValueError("range partitioning needs at least one boundary")
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("range boundaries must be sorted")
+        col = Column(relation, attribute)
+        fragments = []
+        count = len(boundaries) + 1
+        for i in range(count):
+            parts: list[Expr] = []
+            if i > 0:
+                parts.append(ge(col, boundaries[i - 1]))
+            if i < len(boundaries):
+                parts.append(lt(col, boundaries[i]))
+            rows = row_counts[i] if row_counts else 0
+            fragments.append(Fragment(relation, i, conjoin(parts), rows))
+        return PartitionScheme(relation, attribute, tuple(fragments))
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def fragment_ids(self) -> frozenset[int]:
+        return frozenset(f.fragment_id for f in self.fragments)
+
+    def fragment(self, fragment_id: int) -> Fragment:
+        for f in self.fragments:
+            if f.fragment_id == fragment_id:
+                return f
+        raise KeyError(f"{self.relation} has no fragment {fragment_id}")
+
+    @property
+    def total_rows(self) -> int:
+        return sum(f.row_count for f in self.fragments)
+
+    def restriction_for(self, alias: str, fragment_ids: Iterable[int]) -> Expr:
+        """Predicate selecting the union of the given fragments of *alias*.
+
+        For list partitions this merges IN-lists; otherwise it ORs the
+        individual fragment predicates.  Selecting *all* fragments yields
+        ``TRUE``.
+        """
+        wanted = frozenset(fragment_ids)
+        if wanted == self.fragment_ids:
+            return TRUE
+        preds = [self.fragment(i).restriction_for(alias) for i in sorted(wanted)]
+        if not preds:
+            raise ValueError("empty fragment selection")
+        if len(preds) == 1:
+            return preds[0]
+        # Merge sibling IN-lists on the same column where possible.
+        merged: Expr | None = None
+        if self.attribute is not None:
+            col = Column(alias, self.attribute)
+            values: set[Value] = set()
+            mergeable = True
+            for pred in preds:
+                if isinstance(pred, InList) and pred.col == col:
+                    values |= pred.values
+                elif (
+                    hasattr(pred, "op")
+                    and getattr(pred, "op", None) == "="
+                    and getattr(pred, "left", None) == col
+                ):
+                    values.add(pred.right.value)  # type: ignore[attr-defined]
+                else:
+                    mergeable = False
+                    break
+            if mergeable:
+                merged = InList(col, frozenset(values)).simplify()
+        if merged is not None:
+            return merged
+        result: Expr = preds[0]
+        for pred in preds[1:]:
+            result = result | pred
+        return result

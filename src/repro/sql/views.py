@@ -1,0 +1,204 @@
+"""Materialized views and view matching (Section 3.5).
+
+The seller predicates analyser looks for materialized views that can
+answer — or cheaply approximate — a requested query.  The paper's example:
+a view pre-aggregating invoice charges per (office, custid) can answer the
+manager's coarser per-office SUM, so the seller "offers it in small value".
+
+Full answering-queries-using-views is NP-complete; following the paper we
+implement a sound, conservative matcher that handles the cases the
+framework actually trades:
+
+* **Exact/filter match** — the view contains a superset of the query's
+  rows over the same join (view predicate implied by query predicate);
+  the residual selection is applied on top of the view.
+* **Rollup match** — both are grouped aggregates, the query's grouping is
+  coarser than (a subset of) the view's grouping, and every aggregate can
+  be re-aggregated from the view's partial aggregates (SUM of SUM, SUM of
+  COUNT, MIN of MIN, MAX of MAX).
+
+A successful match never changes the *semantics* of the offered query —
+it only changes the seller's cost: scanning a small view beats recomputing
+a join over base fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.sql.expr import Column, Expr, TRUE, conjoin, implies
+from repro.sql.query import Aggregate, SPJQuery, Star
+from repro.sql.schema import Relation
+
+__all__ = ["MaterializedView", "ViewMatch", "match_view"]
+
+# Aggregates that re-aggregate losslessly from finer groups: SUM of SUMs,
+# SUM of COUNTs, MIN of MINs, MAX of MAXs.  AVG is not decomposable.
+_ROLLUP_SAFE = frozenset(("sum", "count", "min", "max"))
+
+
+@dataclass(frozen=True)
+class MaterializedView:
+    """A named, pre-computed query result stored at some node.
+
+    ``freshness`` reflects how up-to-date the materialization is
+    (1 = refreshed continuously); it flows into the freshness dimension
+    of any offer priced from this view, so staleness-averse buyers can
+    discount it.
+    """
+
+    name: str
+    query: SPJQuery
+    row_count: int
+    freshness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise ValueError("row_count must be non-negative")
+        if not (0.0 <= self.freshness <= 1.0):
+            raise ValueError("freshness must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ViewMatch:
+    """How a view answers a query.
+
+    Attributes
+    ----------
+    view:
+        The matched view.
+    residual:
+        Selection to apply on top of the view's rows (``TRUE`` when the
+        view's predicate already equals the query's).
+    needs_rollup:
+        True for the rollup case — the buyer-requested aggregate is
+        recomputed by re-aggregating the view's finer groups.
+    """
+
+    view: MaterializedView
+    residual: Expr
+    needs_rollup: bool
+
+
+def _alias_mapping(query: SPJQuery, view: SPJQuery) -> dict[str, str] | None:
+    """Map view aliases onto query aliases by relation name (bijective).
+
+    Self-joins (two refs of the same relation) are conservatively skipped:
+    the mapping would be ambiguous.
+    """
+    if len(query.relations) != len(view.relations):
+        return None
+    query_by_name: dict[str, list[str]] = {}
+    for ref in query.relations:
+        query_by_name.setdefault(ref.name, []).append(ref.alias)
+    mapping: dict[str, str] = {}
+    for ref in view.relations:
+        aliases = query_by_name.get(ref.name, [])
+        if len(aliases) != 1:
+            return None
+        mapping[ref.alias] = aliases[0]
+    if len(set(mapping.values())) != len(mapping):
+        return None
+    return mapping
+
+
+def _view_output_columns(view: SPJQuery) -> set[Column] | None:
+    """Base columns available from the view's output (None = all)."""
+    if view.is_star:
+        return None
+    cols: set[Column] = set()
+    for item in view.projections:
+        if isinstance(item, Column):
+            cols.add(item)
+    cols.update(view.group_by)
+    return cols
+
+
+def match_view(
+    query: SPJQuery,
+    view: MaterializedView,
+    schemas: Mapping[str, Relation],
+) -> ViewMatch | None:
+    """Sound test that *view* can produce the answer of *query*.
+
+    Returns the match description, or ``None`` when the matcher cannot
+    prove the view usable (false negatives are allowed; false positives
+    are not).
+    """
+    vq = view.query
+    mapping = _alias_mapping(query, vq)
+    if mapping is None:
+        return None
+    view_pred = vq.predicate.rename_tables(mapping)
+    # The view must contain every row the query needs.
+    if not implies(query.predicate, view_pred):
+        return None
+    # Residual = query conjuncts not already guaranteed by the view.
+    residual_parts = [
+        c for c in query.predicate.conjuncts() if not implies(view_pred, c)
+    ]
+    residual = conjoin(residual_parts)
+
+    view_group_by = tuple(c.rename_tables(mapping) for c in vq.group_by)
+    view_has_aggs = vq.has_aggregates
+
+    if not query.has_aggregates and not query.group_by:
+        # Plain SPJ query: the view must not have collapsed rows, and must
+        # expose every column the query projects or filters on.
+        if view_has_aggs or vq.group_by or vq.distinct != query.distinct:
+            return None
+        available = _view_output_columns(vq)
+        if available is not None:
+            available = {c.rename_tables(mapping) for c in available}
+            needed = set(query.output_columns(schemas))
+            needed.update(residual.columns())
+            if not needed <= available:
+                return None
+        return ViewMatch(view, residual, needs_rollup=False)
+
+    if not view_has_aggs:
+        # Query aggregates over a non-aggregated view: fine, the view acts
+        # as a base table; require the needed columns to be exposed.
+        available = _view_output_columns(vq)
+        if vq.group_by or vq.distinct:
+            return None
+        if available is not None:
+            available = {c.rename_tables(mapping) for c in available}
+            needed = set(query.output_columns(schemas))
+            needed.update(residual.columns())
+            if not needed <= available:
+                return None
+        return ViewMatch(view, residual, needs_rollup=False)
+
+    # Rollup case: both sides aggregate.
+    if residual_parts:
+        # Residual selections over an aggregated view are only sound on
+        # grouping columns.
+        if not set(residual.columns()) <= set(view_group_by):
+            return None
+    if not set(query.group_by) <= set(view_group_by):
+        return None
+    # Every query aggregate must be derivable from some view aggregate.
+    view_aggs = {
+        (item.func, item.arg.rename_tables(mapping) if item.arg else None)
+        for item in vq.projections
+        if isinstance(item, Aggregate)
+    }
+    for item in query.projections:
+        if isinstance(item, (Column, Star)):
+            if isinstance(item, Star):
+                return None
+            if item not in set(view_group_by):
+                return None
+            continue
+        derivable = (item.func, item.arg) in view_aggs
+        if not derivable:
+            return None
+    exact_grouping = set(query.group_by) == set(view_group_by)
+    if not exact_grouping:
+        # A genuine rollup: every query aggregate must be rollup-safe.
+        for item in query.projections:
+            if isinstance(item, Aggregate) and item.func not in _ROLLUP_SAFE:
+                return None
+    return ViewMatch(view, residual, needs_rollup=not exact_grouping)

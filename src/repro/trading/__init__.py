@@ -1,0 +1,60 @@
+"""The Query-Trading (QT) framework — the paper's primary contribution.
+
+Queries and query answers are commodities: buyers issue Requests-For-Bids
+for sets of queries, sellers respond with offers describing the
+properties (time, rows, freshness, money, ...) of the query-answers they
+can produce, and the buyer composes winning offers into a distributed
+execution plan.  The iterative algorithm of the paper's Figure 2 lives in
+:class:`~repro.trading.trader.QueryTrader`.
+"""
+
+from repro.trading.commodity import (
+    AnswerProperties,
+    Offer,
+    RequestForBids,
+)
+from repro.trading.valuation import Valuation, WeightedValuation
+from repro.trading.strategy import (
+    AdaptiveMarginStrategy,
+    BuyerStrategy,
+    CompetitiveSellerStrategy,
+    CooperativeSellerStrategy,
+    SellerContext,
+    SellerStrategy,
+)
+from repro.trading.protocols import (
+    BargainingProtocol,
+    BiddingProtocol,
+    NegotiationProtocol,
+    VickreyAuctionProtocol,
+)
+from repro.trading.seller import SellerAgent
+from repro.trading.subcontract import Subcontractor
+from repro.trading.market import Marketplace
+from repro.trading.buyer import BuyerPlanGenerator, BuyerPredicatesAnalyser
+from repro.trading.trader import QueryTrader, TradingResult
+
+__all__ = [
+    "AnswerProperties",
+    "Offer",
+    "RequestForBids",
+    "Valuation",
+    "WeightedValuation",
+    "BuyerStrategy",
+    "SellerStrategy",
+    "SellerContext",
+    "CooperativeSellerStrategy",
+    "CompetitiveSellerStrategy",
+    "AdaptiveMarginStrategy",
+    "NegotiationProtocol",
+    "BiddingProtocol",
+    "VickreyAuctionProtocol",
+    "BargainingProtocol",
+    "SellerAgent",
+    "Subcontractor",
+    "Marketplace",
+    "BuyerPlanGenerator",
+    "BuyerPredicatesAnalyser",
+    "QueryTrader",
+    "TradingResult",
+]

@@ -1,0 +1,111 @@
+"""The traded commodities: query-answers and their multi-dimensional value.
+
+Section 3.1: "seller nodes make offers which contain their estimated
+properties of the answer of these queries ... the total time required to
+execute and transmit the results of the query back to the buyer, the time
+required to find the first row of the answer, the average rate of
+retrieved rows per second, the total rows of the answer, the freshness of
+the data, the completeness of the data, and possibly a charged amount."
+:class:`AnswerProperties` carries exactly that vector.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.sql.query import SPJQuery
+
+__all__ = ["AnswerProperties", "Offer", "RequestForBids"]
+
+_offer_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AnswerProperties:
+    """Seller-estimated properties of one query-answer."""
+
+    total_time: float  # seconds to produce + ship the full answer
+    rows: float  # estimated answer cardinality
+    first_row_time: float = 0.0  # seconds until the first row arrives
+    rows_per_second: float = 0.0  # delivery rate once flowing
+    freshness: float = 1.0  # 1 = live data, <1 = staleness fraction
+    completeness: float = 1.0  # 1 = full answer for the offered query
+    money: float = 0.0  # charged amount (currency units)
+
+    def __post_init__(self) -> None:
+        if self.total_time < 0 or self.rows < 0:
+            raise ValueError("negative answer properties")
+        if not (0.0 <= self.freshness <= 1.0):
+            raise ValueError("freshness must be in [0, 1]")
+        if not (0.0 <= self.completeness <= 1.0):
+            raise ValueError("completeness must be in [0, 1]")
+
+    def with_money(self, money: float) -> "AnswerProperties":
+        return replace(self, money=money)
+
+    def scaled_time(self, factor: float) -> "AnswerProperties":
+        return replace(
+            self,
+            total_time=self.total_time * factor,
+            first_row_time=self.first_row_time * factor,
+        )
+
+
+@dataclass(frozen=True)
+class Offer:
+    """A seller's binding offer for one query-answer.
+
+    ``coverage`` states exactly which fragments of which relation (by
+    query alias) the answer ranges over — the buyer plan generator's raw
+    material.  ``exact_projections`` distinguishes answers carrying the
+    original projections (possibly partial aggregates that union
+    losslessly) from ``SELECT *`` parts the buyer must post-process.
+    ``true_cost`` is the seller's private valuation (kept for surplus
+    accounting in the experiments; a real competitive seller would not
+    publish it).
+    """
+
+    seller: str
+    query: SPJQuery
+    coverage: Mapping[str, frozenset[int]]
+    properties: AnswerProperties
+    exact_projections: bool
+    request_key: str  # canonical key of the RFB query this answers
+    offer_id: int = field(default_factory=lambda: next(_offer_ids))
+    true_cost: float = 0.0
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        return frozenset(self.coverage)
+
+    def describe(self) -> str:
+        cov = "; ".join(
+            f"{alias}:{sorted(fids)}"
+            for alias, fids in sorted(self.coverage.items())
+        )
+        return (
+            f"offer#{self.offer_id} {self.seller} [{cov}] "
+            f"t={self.properties.total_time:.4f}s rows={self.properties.rows:.0f}"
+            f" money={self.properties.money:.4f}"
+        )
+
+
+@dataclass(frozen=True)
+class RequestForBids:
+    """An RFB: the buyer's query set with strategic value estimates.
+
+    ``reservations`` maps each query's canonical key to the buyer's
+    estimated value (reservation price) for it — the paper's step B1
+    "the buyer strategically estimates the values it should ask for the
+    queries in set Q".
+    """
+
+    buyer: str
+    queries: tuple[SPJQuery, ...]
+    reservations: Mapping[str, float] = field(default_factory=dict)
+    round_number: int = 0
+
+    def reservation_for(self, query: SPJQuery) -> float | None:
+        return self.reservations.get(query.key())

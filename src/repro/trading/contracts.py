@@ -1,0 +1,37 @@
+"""Contracts: the agreements struck at the end of a trading negotiation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trading.commodity import AnswerProperties, Offer
+
+__all__ = ["Contract"]
+
+
+@dataclass(frozen=True)
+class Contract:
+    """A struck deal: the buyer will receive the offered query-answer.
+
+    ``agreed`` may differ from the offer's original properties when the
+    protocol's payment rule repriced it (e.g. Vickrey second-price).
+    """
+
+    buyer: str
+    offer: Offer
+    agreed: AnswerProperties
+
+    @property
+    def seller(self) -> str:
+        return self.offer.seller
+
+    @property
+    def surplus(self) -> float:
+        """Seller surplus: payment received minus true cost incurred."""
+        return self.agreed.money - self.offer.true_cost
+
+    def describe(self) -> str:
+        return (
+            f"{self.buyer} buys {self.offer.describe()} "
+            f"for {self.agreed.money:.4f} (surplus {self.surplus:+.4f})"
+        )

@@ -1,0 +1,94 @@
+"""Market dynamics: load feedback across repeated trades.
+
+The paper stresses that offers reflect "the available network resources
+and the current workload of sellers".  When trades repeat, that coupling
+becomes a market-based load balancer: a seller that keeps winning
+accumulates queued work, its subsequent offers get slower/dearer, and the
+buyer's next trade flows to an idle replica holder — no coordinator
+involved.
+
+:class:`Marketplace` wraps a :class:`~repro.trading.trader.QueryTrader`
+and closes the loop: after each optimization it books the contracted
+execution work onto the winning nodes' load factors (which the shared
+:class:`~repro.optimizer.plans.PlanBuilder` capabilities feed straight
+into every later cost estimate) and decays everyone's load by the
+simulated time that passed, modelling work being drained between trades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.optimizer.plans import PlanBuilder
+from repro.sql.query import SPJQuery
+from repro.trading.trader import QueryTrader, TradingResult
+
+__all__ = ["Marketplace"]
+
+
+@dataclass
+class Marketplace:
+    """Repeated trading with load feedback.
+
+    Parameters
+    ----------
+    trader:
+        The buyer-side driver (its sellers/builder are shared here).
+    load_per_second:
+        How much load one second of contracted execution work adds to
+        the winning node.
+    drain_rate:
+        Load units drained per simulated second between trades.
+    """
+
+    trader: QueryTrader
+    load_per_second: float = 5.0
+    drain_rate: float = 0.05
+    contract_counts: dict[str, int] = field(default_factory=dict)
+    _last_drain: float = 0.0
+
+    @property
+    def builder(self) -> PlanBuilder:
+        return self.trader.plan_generator.builder
+
+    # ------------------------------------------------------------------
+    def loads(self) -> dict[str, float]:
+        return {
+            node: caps.load
+            for node, caps in self.builder.capabilities.items()
+        }
+
+    def _drain(self) -> None:
+        now = self.trader.network.now
+        elapsed = max(0.0, now - self._last_drain)
+        self._last_drain = now
+        if elapsed <= 0:
+            return
+        for node, caps in list(self.builder.capabilities.items()):
+            drained = max(0.0, caps.load - self.drain_rate * elapsed)
+            self.builder.capabilities[node] = caps.with_load(drained)
+
+    def _book(self, result: TradingResult) -> None:
+        for contract in result.contracts:
+            node = contract.seller
+            self.contract_counts[node] = self.contract_counts.get(node, 0) + 1
+            caps = self.builder.caps(node)
+            self.builder.capabilities[node] = caps.with_load(
+                caps.load + self.load_per_second * contract.offer.true_cost
+            )
+
+    # ------------------------------------------------------------------
+    def trade(self, query: SPJQuery) -> TradingResult:
+        """One optimization with load drain before and booking after."""
+        self._drain()
+        result = self.trader.optimize(query)
+        if result.found:
+            self._book(result)
+        return result
+
+    def trade_many(
+        self, query: SPJQuery, times: int
+    ) -> list[TradingResult]:
+        """Repeat the same query; winners rotate as load accumulates."""
+        return [self.trade(query) for _ in range(times)]

@@ -1,0 +1,328 @@
+"""Negotiation protocols: bidding, Vickrey auction, bargaining (§2, §3.2).
+
+A protocol choreographs one *round* of the trading negotiation over the
+discrete-event network: the buyer solicits, sellers compute offers (their
+optimization effort is booked on their own compute timeline, so
+independent sellers overlap — the root of QT's scalability), and replies
+flow back.  Winner notification (`award`) is a separate step the trader
+performs once the final plan is chosen.
+
+* :class:`BiddingProtocol` — single sealed-bid round (the paper's
+  default): RFB out, offers back.  2 messages per contacted seller.
+* :class:`VickreyAuctionProtocol` — same message flow; the award step
+  reprices each won request at the second-best competing offer
+  (truth-inducing in the competitive setting).
+* :class:`BargainingProtocol` — up to *k* counter-offer rounds: the buyer
+  starts from an aggressive reservation and relaxes it toward the
+  cheapest counter until some seller accepts.  Strictly more messages
+  than bidding — matching the paper's remark that nesting bargaining
+  "will only increase the number of exchanged messages".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.net.messages import Message, MessageKind
+from repro.net.simulator import Network
+from repro.trading.commodity import Offer, RequestForBids
+from repro.trading.seller import SellerAgent
+from repro.trading.valuation import Valuation, WeightedValuation
+
+__all__ = [
+    "NegotiationProtocol",
+    "BiddingProtocol",
+    "VickreyAuctionProtocol",
+    "BargainingProtocol",
+]
+
+#: Serialized size of one offer / one RFB query beyond the base message.
+OFFER_ITEM_BYTES = 256
+QUERY_ITEM_BYTES = 128
+
+
+def rfb_size(network: Network, rfb: RequestForBids) -> int:
+    return (
+        network.cost_model.network.control_message_bytes
+        + QUERY_ITEM_BYTES * len(rfb.queries)
+    )
+
+
+def offers_size(network: Network, offers: Sequence[Offer]) -> int:
+    return (
+        network.cost_model.network.control_message_bytes
+        + OFFER_ITEM_BYTES * len(offers)
+    )
+
+
+@dataclass
+class SolicitResult:
+    """Offers gathered in one negotiation round, with timing."""
+
+    offers: list[Offer]
+    started_at: float
+    finished_at: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class NegotiationProtocol:
+    """Base: registers transient actors on the network per round."""
+
+    name = "abstract"
+
+    def solicit(
+        self,
+        network: Network,
+        buyer: str,
+        sellers: Mapping[str, SellerAgent],
+        rfb: RequestForBids,
+    ) -> SolicitResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def award(
+        self,
+        network: Network,
+        buyer: str,
+        winning: Sequence[Offer],
+        losing: Sequence[Offer],
+        sellers: Mapping[str, SellerAgent],
+    ) -> list[Offer]:
+        """Notify winners (AWARD) and losers (REJECT); returns the final
+        (possibly repriced) winning offers."""
+        self._ensure_registered(network, buyer, sellers)
+        final = self.settle_prices(winning, losing)
+        for offer in final:
+            network.send(
+                Message(MessageKind.AWARD, buyer, offer.seller, offer)
+            )
+        notified = {(o.seller, o.offer_id) for o in final}
+        rejected_sellers = set()
+        for offer in losing:
+            if (offer.seller, offer.offer_id) in notified:
+                continue
+            rejected_sellers.add(offer.seller)
+        for seller in sorted(rejected_sellers):
+            network.send(Message(MessageKind.REJECT, buyer, seller, None))
+        network.run()
+        won_by_seller: dict[str, set[str]] = {}
+        lost_by_seller: dict[str, set[str]] = {}
+        for offer in final:
+            won_by_seller.setdefault(offer.seller, set()).add(offer.request_key)
+        for offer in losing:
+            lost_by_seller.setdefault(offer.seller, set()).add(
+                offer.request_key
+            )
+        for node, agent in sellers.items():
+            won = won_by_seller.get(node, set())
+            lost = lost_by_seller.get(node, set()) - won
+            agent.record_outcomes(won, lost)
+        return final
+
+    def settle_prices(
+        self, winning: Sequence[Offer], losing: Sequence[Offer]
+    ) -> list[Offer]:
+        """Payment rule; first-price by default (pay what was offered)."""
+        return list(winning)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ensure_registered(
+        network: Network, buyer: str, sellers: Mapping[str, SellerAgent]
+    ) -> None:
+        def _sink(_net: Network, _msg: Message) -> None:
+            return None
+
+        for node in list(sellers) + [buyer]:
+            try:
+                network.register(node, _sink)
+            except ValueError:
+                pass  # already registered
+
+
+class BiddingProtocol(NegotiationProtocol):
+    """One sealed-bid round: RFB broadcast, offers collected."""
+
+    name = "bidding"
+
+    def solicit(
+        self,
+        network: Network,
+        buyer: str,
+        sellers: Mapping[str, SellerAgent],
+        rfb: RequestForBids,
+    ) -> SolicitResult:
+        started = network.now
+        collected: list[Offer] = []
+
+        def seller_handler(net: Network, message: Message) -> None:
+            if message.kind is not MessageKind.RFB:
+                return
+            agent = sellers[message.recipient]
+            offers, work = agent.prepare_offers(message.payload)
+            done = net.compute(message.recipient, work)
+            if offers:
+                net.send(
+                    Message(
+                        MessageKind.OFFER,
+                        message.recipient,
+                        buyer,
+                        offers,
+                        size_bytes=offers_size(net, offers),
+                    ),
+                    earliest=done,
+                )
+            else:
+                net.send(
+                    Message(
+                        MessageKind.NO_OFFER, message.recipient, buyer, None
+                    ),
+                    earliest=done,
+                )
+
+        def buyer_handler(net: Network, message: Message) -> None:
+            if message.kind is MessageKind.OFFER:
+                collected.extend(message.payload)
+
+        self._swap_handlers(network, buyer, sellers, buyer_handler, seller_handler)
+        for node in sorted(sellers):
+            if node == buyer:
+                continue
+            network.send(
+                Message(
+                    MessageKind.RFB,
+                    buyer,
+                    node,
+                    rfb,
+                    size_bytes=rfb_size(network, rfb),
+                )
+            )
+        network.run()
+        return SolicitResult(
+            offers=collected, started_at=started, finished_at=network.now
+        )
+
+    @staticmethod
+    def _swap_handlers(network, buyer, sellers, buyer_handler, seller_handler):
+        for node in sellers:
+            network.unregister(node)
+            network.register(node, seller_handler)
+        network.unregister(buyer)
+        network.register(buyer, buyer_handler)
+
+
+class VickreyAuctionProtocol(BiddingProtocol):
+    """Bidding with second-price settlement per requested query.
+
+    For every request key the winner pays the *second-lowest* competing
+    monetary bid (or its own when unchallenged) — removing the incentive
+    to shade bids in the competitive experiments.
+    """
+
+    name = "vickrey"
+
+    def settle_prices(
+        self, winning: Sequence[Offer], losing: Sequence[Offer]
+    ) -> list[Offer]:
+        by_request: dict[str, list[float]] = {}
+        for offer in list(winning) + list(losing):
+            by_request.setdefault(offer.request_key, []).append(
+                offer.properties.money
+            )
+        final = []
+        for offer in winning:
+            competing = sorted(by_request.get(offer.request_key, []))
+            price = offer.properties.money
+            higher = [p for p in competing if p > price + 1e-12]
+            if higher:
+                price = higher[0]
+            final.append(
+                replace(offer, properties=offer.properties.with_money(price))
+            )
+        return final
+
+
+class BargainingProtocol(NegotiationProtocol):
+    """Alternating-offers bargaining, up to *max_rounds* per RFB.
+
+    Round 1 announces the buyer's (aggressive) reservations.  Sellers
+    priced out of a request respond with a COUNTER_OFFER at their best
+    price instead of an OFFER; the buyer relaxes each reservation toward
+    the cheapest counter by *concession* per round and re-solicits.  The
+    final round drops reservations entirely so a plan can always form.
+    """
+
+    name = "bargaining"
+
+    def __init__(self, max_rounds: int = 3, concession: float = 0.5):
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if not (0.0 < concession <= 1.0):
+            raise ValueError("concession must be in (0, 1]")
+        self.max_rounds = max_rounds
+        self.concession = concession
+        self._bidding = BiddingProtocol()
+
+    def solicit(
+        self,
+        network: Network,
+        buyer: str,
+        sellers: Mapping[str, SellerAgent],
+        rfb: RequestForBids,
+    ) -> SolicitResult:
+        started = network.now
+        reservations = dict(rfb.reservations)
+        collected: dict[tuple, Offer] = {}
+        valuation: Valuation = WeightedValuation()
+        for round_number in range(self.max_rounds):
+            if round_number == self.max_rounds - 1:
+                reservations = {}
+            current = RequestForBids(
+                buyer=rfb.buyer,
+                queries=rfb.queries,
+                reservations=dict(reservations),
+                round_number=rfb.round_number,
+            )
+            result = self._bidding.solicit(network, buyer, sellers, current)
+            got_new = False
+            for offer in result.offers:
+                key = (offer.seller, offer.query.key(), offer.exact_projections)
+                current_best = collected.get(key)
+                if current_best is None or valuation(
+                    offer.properties
+                ) < valuation(current_best.properties):
+                    collected[key] = offer
+                    got_new = True
+            # Relax reservations toward observed prices.
+            by_request: dict[str, float] = {}
+            for offer in result.offers:
+                cost = offer.properties.total_time
+                key = offer.request_key
+                if key not in by_request or cost < by_request[key]:
+                    by_request[key] = cost
+            satisfied = all(
+                key in by_request for key in reservations
+            ) and bool(result.offers)
+            if satisfied or not reservations:
+                break
+            for key in list(reservations):
+                observed = by_request.get(key)
+                if observed is None:
+                    reservations[key] = reservations[key] * (
+                        1.0 + self.concession
+                    )
+                else:
+                    reservations[key] += self.concession * max(
+                        0.0, observed - reservations[key]
+                    )
+            if not got_new and round_number > 0:
+                break
+        return SolicitResult(
+            offers=list(collected.values()),
+            started_at=started,
+            finished_at=network.now,
+        )

@@ -1,0 +1,159 @@
+"""Buyer and seller strategy modules.
+
+Section 2: entities choose actions based on "the strategy they follow ...
+and the expected surplus (utility) from this action"; strategies are
+"classified as either cooperative or competitive".  In the cooperative
+case sellers reveal true costs (maximizing joint surplus — the corporate
+federation of the motivating example); in the competitive case each
+seller marks its price up and adapts the margin to market feedback, and
+may decline unprofitable requests.
+
+Prices here are the *monetary* dimension of an offer; the time dimension
+is the seller's genuine engineering estimate either way (a seller that
+lies about delivery time is caught by the buyer's own experience — we
+model the honest-time, strategic-price world the paper assumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.model import NodeCapabilities
+from repro.trading.commodity import AnswerProperties
+
+__all__ = [
+    "SellerContext",
+    "SellerStrategy",
+    "CooperativeSellerStrategy",
+    "CompetitiveSellerStrategy",
+    "AdaptiveMarginStrategy",
+    "BuyerStrategy",
+]
+
+
+@dataclass(frozen=True)
+class SellerContext:
+    """What a seller knows when pricing one offer."""
+
+    query_key: str
+    reservation: float | None  # buyer's announced value estimate, if any
+    round_number: int
+    caps: NodeCapabilities
+
+
+class SellerStrategy:
+    """Interface: turn true costs into offered prices (or decline)."""
+
+    def price(
+        self,
+        properties: AnswerProperties,
+        true_seconds: float,
+        ctx: SellerContext,
+    ) -> AnswerProperties | None:
+        """Final offered properties; ``None`` declines to offer."""
+        raise NotImplementedError
+
+    def record_outcome(self, query_key: str, won: bool) -> None:
+        """Feedback after winner determination (adaptive strategies)."""
+
+
+@dataclass
+class CooperativeSellerStrategy(SellerStrategy):
+    """Truthful pricing: charge exactly the cost of the work performed.
+
+    This maximizes joint surplus — the right strategy inside a single
+    organization's distributed database.
+    """
+
+    def price(
+        self,
+        properties: AnswerProperties,
+        true_seconds: float,
+        ctx: SellerContext,
+    ) -> AnswerProperties | None:
+        return properties.with_money(
+            true_seconds * ctx.caps.price_per_second
+        )
+
+
+@dataclass
+class CompetitiveSellerStrategy(SellerStrategy):
+    """Fixed-margin profit seeking, load-aware.
+
+    The offered price is ``cost × (1 + margin + load_coefficient·load)``:
+    a busy node is an expensive node.  When the buyer announced a
+    reservation value, the seller shades its price down to just below it
+    if that still clears cost (classic reservation undercutting) and
+    declines when even the bare cost exceeds the reservation.
+    """
+
+    margin: float = 0.3
+    load_coefficient: float = 0.5
+    undercut: float = 0.99
+
+    def price(
+        self,
+        properties: AnswerProperties,
+        true_seconds: float,
+        ctx: SellerContext,
+    ) -> AnswerProperties | None:
+        cost = true_seconds * ctx.caps.price_per_second
+        markup = 1.0 + self.margin + self.load_coefficient * ctx.caps.load
+        price = cost * markup
+        if ctx.reservation is not None:
+            ceiling = ctx.reservation * self.undercut
+            if price > ceiling:
+                if cost > ceiling:
+                    return None  # unprofitable: decline
+                price = ceiling
+        return properties.with_money(price)
+
+
+@dataclass
+class AdaptiveMarginStrategy(CompetitiveSellerStrategy):
+    """Competitive pricing with a win/loss-adaptive margin.
+
+    Losing bids signal an overpriced seller (margin shrinks); winning
+    bids signal headroom (margin grows), bounded to
+    ``[min_margin, max_margin]`` — a standard multiplicative-adjustment
+    bidding heuristic.
+    """
+
+    step: float = 0.15
+    min_margin: float = 0.02
+    max_margin: float = 1.0
+
+    def record_outcome(self, query_key: str, won: bool) -> None:
+        if won:
+            self.margin = min(self.max_margin, self.margin * (1.0 + self.step))
+        else:
+            self.margin = max(self.min_margin, self.margin * (1.0 - self.step))
+
+
+@dataclass
+class BuyerStrategy:
+    """The buyer's strategic value estimation (step B1 of Figure 2).
+
+    The buyer announces, for each query in the RFB, the value it claims
+    the query is worth.  Announcing a fraction (*pressure* < 1) of its
+    best current estimate pushes competitive sellers to shade their
+    margins; announcing nothing (``pressure=None``-like behaviour with
+    ``announce=False``) reveals no information.
+    """
+
+    pressure: float = 0.9
+    announce: bool = True
+    initial_value: float = 0.0  # the paper's v0 for unknown queries
+
+    def reservation(self, current_estimate: float | None) -> float | None:
+        if not self.announce:
+            return None
+        if current_estimate is None or current_estimate <= 0:
+            return self.initial_value if self.initial_value > 0 else None
+        return current_estimate * self.pressure
+
+    def accepts(self, value: float, reservation: float | None) -> bool:
+        """Would the buyer accept an offer of *value* given its target?"""
+        if reservation is None:
+            return True
+        return value <= reservation * 1.5  # tolerance band

@@ -1,0 +1,295 @@
+"""The Query-Trading optimizer: the iterative algorithm of Figure 2.
+
+Steps (buyer side), as in the paper:
+
+* **B1** — strategically estimate values for the current query set Q;
+* **B2** — request bids from the selling nodes;
+* **B3** — run the negotiation protocol, gathering offers (sellers run
+  S2.1–S3: rewrite, local optimization, predicates analysis, pricing);
+* **B4** — combine winning offers into candidate execution plans;
+* **B5/B6** — the buyer predicates analyser enriches Q with new queries
+  that could improve the next round's plans;
+* **B7** — keep the best plan; terminate when it stopped improving or no
+  new query was found;
+* **B8** — award the winning offers (strike contracts) and return the
+  plan.
+
+The trader runs against the discrete-event network, so its result carries
+exact simulated optimization time and message counts — the quantities
+the paper's experimental study reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.net.simulator import Network, NetworkStats
+from repro.optimizer.plans import PlanBuilder, Purchased
+from repro.sql.query import SPJQuery
+from repro.trading.buyer import (
+    BuyerPlanGenerator,
+    BuyerPredicatesAnalyser,
+    CandidatePlan,
+)
+from repro.trading.commodity import Offer, RequestForBids
+from repro.trading.contracts import Contract
+from repro.trading.protocols import BiddingProtocol, NegotiationProtocol
+from repro.trading.seller import SellerAgent
+from repro.trading.strategy import BuyerStrategy
+from repro.trading.valuation import Valuation, WeightedValuation
+
+__all__ = ["QueryTrader", "TradingResult"]
+
+
+@dataclass
+class IterationTrace:
+    """Per-iteration diagnostics (drives the convergence experiment)."""
+
+    round_number: int
+    queries_asked: int
+    offers_received: int
+    best_value: float | None
+    elapsed: float
+
+
+@dataclass
+class TradingResult:
+    """Everything the trading negotiation produced."""
+
+    query: SPJQuery
+    best: CandidatePlan | None
+    contracts: list[Contract] = field(default_factory=list)
+    iterations: int = 0
+    offers_considered: int = 0
+    optimization_time: float = 0.0  # simulated seconds
+    messages: NetworkStats = field(default_factory=NetworkStats)
+    trace: list[IterationTrace] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None
+
+    @property
+    def plan_cost(self) -> float:
+        if self.best is None:
+            raise ValueError("no plan found")
+        return self.best.properties.total_time
+
+    @property
+    def total_payment(self) -> float:
+        return sum(c.agreed.money for c in self.contracts)
+
+
+class QueryTrader:
+    """Buyer-side driver of the query-trading optimization.
+
+    Parameters
+    ----------
+    buyer:
+        The buying node's id.
+    sellers:
+        The selling agents, keyed by node id (in a real deployment these
+        run remotely; here they live behind the simulated network).
+    network:
+        The discrete-event fabric (timing + message accounting).
+    plan_generator:
+        Buyer plan generator (choose ``mode='idp'`` for IDP-M(2,5)).
+    protocol:
+        Negotiation protocol; sealed-bid bidding by default.
+    buyer_strategy:
+        Reservation-value strategy (step B1).
+    max_iterations:
+        Upper bound on trading rounds (the algorithm usually terminates
+        earlier via the no-improvement/no-new-queries rule).
+    improvement_epsilon:
+        Minimum relative improvement that counts as "better".
+    """
+
+    def __init__(
+        self,
+        buyer: str,
+        sellers: Mapping[str, SellerAgent],
+        network: Network,
+        plan_generator: BuyerPlanGenerator,
+        protocol: NegotiationProtocol | None = None,
+        buyer_strategy: BuyerStrategy | None = None,
+        valuation: Valuation | None = None,
+        max_iterations: int = 6,
+        improvement_epsilon: float = 1e-3,
+    ):
+        self.buyer = buyer
+        self.sellers = dict(sellers)
+        self.network = network
+        self.plan_generator = plan_generator
+        self.protocol = protocol or BiddingProtocol()
+        self.buyer_strategy = buyer_strategy or BuyerStrategy()
+        self.valuation = valuation or WeightedValuation()
+        self.max_iterations = max_iterations
+        self.improvement_epsilon = improvement_epsilon
+        self.analyser = BuyerPredicatesAnalyser(plan_generator.builder.schemes)
+
+    # ------------------------------------------------------------------
+    def optimize(self, query: SPJQuery, initial_value: float | None = None) -> TradingResult:
+        """Run the full iterative trading negotiation for *query*."""
+        net = self.network
+        start_time = net.now
+        start_stats = net.stats.snapshot()
+
+        asked: set[str] = set()
+        offers: dict[tuple, Offer] = {}
+        best: CandidatePlan | None = None
+        estimates: dict[str, float] = {}
+        if initial_value is not None:
+            estimates[query.key()] = initial_value
+        queries: list[SPJQuery] = [query]
+        trace: list[IterationTrace] = []
+        iterations = 0
+
+        for round_number in range(1, self.max_iterations + 1):
+            queries = [q for q in queries if q.key() not in asked]
+            if not queries:
+                break
+            iterations = round_number
+            for q in queries:
+                asked.add(q.key())
+
+            # B1: strategic value estimation.
+            reservations: dict[str, float] = {}
+            for q in queries:
+                reservation = self.buyer_strategy.reservation(
+                    estimates.get(q.key())
+                )
+                if reservation is not None:
+                    reservations[q.key()] = reservation
+            rfb = RequestForBids(
+                buyer=self.buyer,
+                queries=tuple(queries),
+                reservations=reservations,
+                round_number=round_number,
+            )
+
+            # B2/B3: solicit offers over the network.
+            result = self.protocol.solicit(net, self.buyer, self.sellers, rfb)
+            for offer in result.offers:
+                key = (
+                    offer.seller,
+                    offer.query.key(),
+                    tuple(
+                        (alias, tuple(sorted(fids)))
+                        for alias, fids in sorted(offer.coverage.items())
+                    ),
+                    offer.exact_projections,
+                )
+                current = offers.get(key)
+                if current is None or self.valuation(
+                    offer.properties
+                ) < self.valuation(current.properties):
+                    offers[key] = offer
+                # Track per-query market estimates for future reservations.
+                estimate = estimates.get(offer.query.key())
+                value = self.valuation(offer.properties)
+                if estimate is None or value < estimate:
+                    estimates[offer.query.key()] = value
+
+            # B4: generate candidate plans (buyer-side compute is booked
+            # on the buyer's timeline).
+            all_offers = list(offers.values())
+            plan_result = self.plan_generator.generate(query, all_offers)
+            plan_work = (
+                plan_result.enumerated * self.plan_generator.seconds_per_plan
+            )
+            finish = net.compute(self.buyer, plan_work)
+            net.sim.schedule_at(finish, lambda: None)
+            net.run()
+
+            improved = plan_result.best is not None and (
+                best is None
+                or plan_result.best.value
+                < best.value * (1.0 - self.improvement_epsilon)
+            )
+            if improved:
+                best = plan_result.best
+                estimates[query.key()] = best.value
+
+            # B5/B6: derive new queries.
+            required = self.plan_generator.required_coverage(query)
+            derived = self.analyser.derive(query, all_offers, required)
+            new_queries = [q for q in derived if q.key() not in asked]
+
+            trace.append(
+                IterationTrace(
+                    round_number=round_number,
+                    queries_asked=len(queries),
+                    offers_received=len(result.offers),
+                    best_value=None if best is None else best.value,
+                    elapsed=net.now - start_time,
+                )
+            )
+
+            # Abort when no plan exists and the analyser has nothing new
+            # to ask for (a softened version of the paper's first-round
+            # abort: complement queries can still repair an assembly gap
+            # in round 2, e.g. when sellers' holdings overlap and no
+            # disjoint exact cover existed at round-one granularity).
+            if best is None and not new_queries:
+                break
+            # B7: terminate on no improvement or no new queries.
+            if round_number > 1 and not improved and best is not None:
+                break
+            if not new_queries:
+                break
+            queries = new_queries
+
+        # B8: strike contracts for the winning offers.
+        contracts: list[Contract] = []
+        if best is not None:
+            winning_ids = {
+                leaf.offer_id for leaf in best.purchased()
+            }
+            winning = [o for o in offers.values() if o.offer_id in winning_ids]
+            losing = [o for o in offers.values() if o.offer_id not in winning_ids]
+            final = self.protocol.award(
+                net, self.buyer, winning, losing, self.sellers
+            )
+            contracts = [
+                Contract(buyer=self.buyer, offer=o, agreed=o.properties)
+                for o in final
+            ]
+
+        return TradingResult(
+            query=query,
+            best=best,
+            contracts=contracts,
+            iterations=iterations,
+            offers_considered=len(offers),
+            optimization_time=net.now - start_time,
+            messages=net.stats.delta_since(start_stats),
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def retrade_after_failure(
+        self, query: SPJQuery, failed: Sequence[str] | set[str]
+    ) -> TradingResult:
+        """Adaptive re-optimization after contracted sellers fail.
+
+        The paper's future-work list includes "the use of contracting to
+        model partial/adaptive query optimization techniques"; this is
+        the base mechanism: when nodes that won contracts disappear (or
+        renege) before delivery, the buyer simply re-runs the trading
+        negotiation with those nodes excluded from the market.  Because
+        the negotiation never shipped data, re-planning costs only
+        another round of messages and pricing work.
+        """
+        excluded = set(failed)
+        saved = self.sellers
+        self.sellers = {
+            node: agent
+            for node, agent in saved.items()
+            if node not in excluded
+        }
+        try:
+            return self.optimize(query)
+        finally:
+            self.sellers = saved

@@ -1,0 +1,57 @@
+"""Offer valuation: the administrator-defined weighting aggregation.
+
+Section 3.1: "The buyer ranks the offers received using an
+administrator-defined weighting aggregation function and chooses those
+that minimize the total cost/value of the query."  A
+:class:`WeightedValuation` scores an :class:`AnswerProperties` vector as
+a weighted sum of its dimensions (lower is better); penalty weights for
+staleness and incompleteness convert those [0,1] qualities into costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trading.commodity import AnswerProperties
+
+__all__ = ["Valuation", "WeightedValuation"]
+
+
+class Valuation:
+    """Interface: map answer properties to a scalar cost (lower = better)."""
+
+    def value(self, properties: AnswerProperties) -> float:
+        raise NotImplementedError
+
+    def __call__(self, properties: AnswerProperties) -> float:
+        return self.value(properties)
+
+
+@dataclass(frozen=True)
+class WeightedValuation(Valuation):
+    """Linear weighting over the answer-property dimensions.
+
+    The default is the paper's: pure total execution/delivery time.
+    ``money_weight`` prices one currency unit in seconds-equivalent, and
+    the penalty weights charge for each point of staleness or missing
+    data.
+    """
+
+    time_weight: float = 1.0
+    first_row_weight: float = 0.0
+    money_weight: float = 0.0
+    staleness_penalty: float = 0.0
+    incompleteness_penalty: float = 0.0
+
+    def value(self, properties: AnswerProperties) -> float:
+        return (
+            self.time_weight * properties.total_time
+            + self.first_row_weight * properties.first_row_time
+            + self.money_weight * properties.money
+            + self.staleness_penalty * (1.0 - properties.freshness)
+            + self.incompleteness_penalty * (1.0 - properties.completeness)
+        )
+
+
+#: The paper's default valuation: cost = total execution time.
+TIME_ONLY = WeightedValuation()

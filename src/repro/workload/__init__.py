@@ -1,0 +1,13 @@
+"""Synthetic workloads: query generators and the paper's telecom scenario."""
+
+from repro.workload.generator import WorkloadConfig, chain_query, star_query, generate_workload
+from repro.workload.scenarios import TelecomScenario, build_telecom_scenario
+
+__all__ = [
+    "WorkloadConfig",
+    "chain_query",
+    "star_query",
+    "generate_workload",
+    "TelecomScenario",
+    "build_telecom_scenario",
+]

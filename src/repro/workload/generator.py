@@ -1,0 +1,129 @@
+"""Synthetic SPJ query generation over the datagen schema.
+
+Chain and star join shapes (the standard join-order benchmark shapes),
+with optional selections on the low-cardinality ``cat`` attribute and
+optional grouped aggregation — matching the query families the paper's
+experimental study sweeps over.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sql.expr import Column, column, conjoin, eq
+from repro.sql.query import Aggregate, SPJQuery, Star
+from repro.sql.schema import RelationRef
+
+__all__ = ["WorkloadConfig", "chain_query", "star_query", "generate_workload"]
+
+
+def chain_query(
+    n_relations: int,
+    selection_cat: int | None = None,
+    aggregate: bool = False,
+    relation_offset: int = 0,
+) -> SPJQuery:
+    """``R0 ⋈ R1 ⋈ ... ⋈ R(n-1)`` along ``ref0 = id`` foreign keys.
+
+    With *aggregate*, produces ``SELECT r0.part, SUM(r0.val) ... GROUP BY
+    r0.part`` — grouped on the partitioning attribute, so sellers can
+    ship exact partial aggregates (the telecom-example pattern).
+    """
+    if n_relations < 1:
+        raise ValueError("need at least one relation")
+    refs = tuple(
+        RelationRef.of(f"R{i + relation_offset}", f"r{i}")
+        for i in range(n_relations)
+    )
+    conjuncts = [
+        eq(column(f"r{i}", "ref0"), column(f"r{i+1}", "id"))
+        for i in range(n_relations - 1)
+    ]
+    if selection_cat is not None:
+        conjuncts.append(eq(column("r0", "cat"), selection_cat))
+    predicate = conjoin(conjuncts)
+    if aggregate:
+        return SPJQuery(
+            relations=refs,
+            predicate=predicate,
+            projections=(
+                Column("r0", "part"),
+                Aggregate("sum", Column("r0", "val"), "total"),
+            ),
+            group_by=(Column("r0", "part"),),
+        )
+    return SPJQuery(relations=refs, predicate=predicate)
+
+
+def star_query(
+    n_satellites: int,
+    selection_cat: int | None = None,
+    aggregate: bool = False,
+) -> SPJQuery:
+    """``R0`` joined with satellites ``R1..Rn`` on its key attributes.
+
+    The hub's ``ref0``/``ref1``/``id`` attributes alternate as join
+    columns so up to three satellites get distinct join keys; beyond
+    that, keys repeat (still a valid star shape).
+    """
+    if n_satellites < 1:
+        raise ValueError("need at least one satellite")
+    refs = [RelationRef.of("R0", "r0")]
+    conjuncts = []
+    hub_keys = ("ref0", "ref1", "id")
+    for i in range(1, n_satellites + 1):
+        refs.append(RelationRef.of(f"R{i}", f"r{i}"))
+        hub_col = column("r0", hub_keys[(i - 1) % len(hub_keys)])
+        conjuncts.append(eq(hub_col, column(f"r{i}", "id")))
+    if selection_cat is not None:
+        conjuncts.append(eq(column("r0", "cat"), selection_cat))
+    predicate = conjoin(conjuncts)
+    if aggregate:
+        return SPJQuery(
+            relations=tuple(refs),
+            predicate=predicate,
+            projections=(
+                Column("r0", "part"),
+                Aggregate("sum", Column("r0", "val"), "total"),
+            ),
+            group_by=(Column("r0", "part"),),
+        )
+    return SPJQuery(relations=tuple(refs), predicate=predicate)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters for a randomized query mix."""
+
+    queries: int = 10
+    min_relations: int = 2
+    max_relations: int = 5
+    shapes: tuple[str, ...] = ("chain", "star")
+    selection_probability: float = 0.7
+    aggregate_probability: float = 0.3
+    available_relations: int = 8
+    seed: int = 0
+
+
+def generate_workload(config: WorkloadConfig) -> list[SPJQuery]:
+    """A reproducible list of random chain/star queries."""
+    rng = random.Random(config.seed)
+    out: list[SPJQuery] = []
+    for _ in range(config.queries):
+        n = rng.randint(
+            config.min_relations,
+            min(config.max_relations, config.available_relations),
+        )
+        shape = rng.choice(config.shapes)
+        cat = (
+            rng.randrange(10)
+            if rng.random() < config.selection_probability
+            else None
+        )
+        aggregate = rng.random() < config.aggregate_probability
+        if shape == "star" and n >= 2:
+            out.append(star_query(n - 1, cat, aggregate))
+        else:
+            out.append(chain_query(n, cat, aggregate))
+    return out

@@ -1,0 +1,233 @@
+"""The paper's motivating scenario: a telecom's customer-care federation.
+
+Section 1: a telecommunications company with many regional offices, each
+with a local DBMS holding customer-care data —
+
+* ``customer (custid, custname, office)`` — list-partitioned by
+  ``office``, each office storing its own customers;
+* ``invoiceline (invid, linenum, custid, charge)`` — either replicated
+  whole at every office (the paper's example: "the Myconos node has the
+  whole invoiceline table") or range-partitioned by ``custid`` and
+  co-located with the owning office.
+
+The manager's query: total issued charges for the offices of Corfu and
+Myconos, grouped by office.  With ``with_views=True`` each office also
+maintains the paper's Section 3.5 materialized view, pre-aggregating
+charges per (office, custid), which the seller predicates analyser can
+roll up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.cost.estimator import AttributeStats, TableStats
+from repro.sql.expr import Column, column, conjoin, eq, in_list
+from repro.sql.query import Aggregate, SPJQuery
+from repro.sql.schema import PartitionScheme, Relation, RelationRef
+from repro.sql.views import MaterializedView
+
+__all__ = ["TelecomScenario", "build_telecom_scenario", "OFFICE_NAMES"]
+
+OFFICE_NAMES = (
+    "Athens",
+    "Corfu",
+    "Myconos",
+    "Santorini",
+    "Rhodes",
+    "Crete",
+    "Paros",
+    "Naxos",
+)
+
+
+def _office_name(i: int) -> str:
+    if i < len(OFFICE_NAMES):
+        return OFFICE_NAMES[i]
+    return f"Office{i}"
+
+
+@dataclass
+class TelecomScenario:
+    """Everything needed to trade queries over the telecom federation."""
+
+    catalog: Catalog
+    nodes: list[str]
+    offices: tuple[str, ...]
+    customers_per_office: int
+    lines_per_customer: int
+    stats: dict[str, TableStats]
+    row_factories: dict[str, Callable] = field(default_factory=dict)
+    buyer: str = "Athens"
+
+    def manager_query(
+        self, offices: tuple[str, ...] = ("Corfu", "Myconos")
+    ) -> SPJQuery:
+        """The paper's motivating query: total charges per island office."""
+        c, i = RelationRef.of("customer", "c"), RelationRef.of("invoiceline", "i")
+        return SPJQuery(
+            relations=(c, i),
+            predicate=conjoin(
+                [
+                    eq(column("c", "custid"), column("i", "custid")),
+                    in_list(column("c", "office"), offices),
+                ]
+            ),
+            projections=(
+                Column("c", "office"),
+                Aggregate("sum", Column("i", "charge"), "total"),
+            ),
+            group_by=(Column("c", "office"),),
+        )
+
+
+def build_telecom_scenario(
+    n_offices: int = 4,
+    customers_per_office: int = 1000,
+    lines_per_customer: int = 5,
+    invoice_placement: str = "full",
+    with_views: bool = False,
+    seed: int = 0,
+) -> TelecomScenario:
+    """Build the telecom federation.
+
+    *invoice_placement*:
+
+    * ``"full"`` — every office stores the complete ``invoiceline`` table
+      (the paper's example setup), so sellers can ship exact per-office
+      partial aggregates;
+    * ``"colocated"`` — ``invoiceline`` is range-partitioned by
+      ``custid`` and stored with the owning office, so sellers ship raw
+      parts and the buyer aggregates.
+    """
+    if invoice_placement not in ("full", "colocated"):
+        raise ValueError("invoice_placement must be 'full' or 'colocated'")
+    offices = tuple(_office_name(i) for i in range(n_offices))
+    total_customers = n_offices * customers_per_office
+    total_lines = total_customers * lines_per_customer
+
+    customer = Relation.of(
+        "customer", "custid", ("custname", "str"), ("office", "str")
+    )
+    invoiceline = Relation.of(
+        "invoiceline", "invid", "linenum", "custid", ("charge", "float")
+    )
+
+    customer_scheme = PartitionScheme.by_list(
+        "customer",
+        "office",
+        [[office] for office in offices],
+        [customers_per_office] * n_offices,
+    )
+    if invoice_placement == "full":
+        invoice_scheme = PartitionScheme.single("invoiceline", total_lines)
+    else:
+        boundaries = [
+            customers_per_office * i for i in range(1, n_offices)
+        ]
+        invoice_scheme = PartitionScheme.by_range(
+            "invoiceline",
+            "custid",
+            boundaries,
+            [customers_per_office * lines_per_customer] * n_offices,
+        )
+
+    catalog = Catalog()
+    catalog.add_relation(customer, customer_scheme)
+    catalog.add_relation(invoiceline, invoice_scheme)
+    nodes = list(offices)
+    for node in nodes:
+        catalog.add_node(node)
+    for i, office in enumerate(offices):
+        catalog.place("customer", i, office)
+    if invoice_placement == "full":
+        catalog.place("invoiceline", 0, offices)
+    else:
+        for i, office in enumerate(offices):
+            catalog.place("invoiceline", i, office)
+
+    if with_views:
+        view_query = SPJQuery(
+            relations=(
+                RelationRef.of("customer", "c"),
+                RelationRef.of("invoiceline", "i"),
+            ),
+            predicate=eq(column("c", "custid"), column("i", "custid")),
+            projections=(
+                Column("c", "office"),
+                Column("i", "custid"),
+                Aggregate("sum", Column("i", "charge"), "charge_sum"),
+            ),
+            group_by=(Column("c", "office"), Column("i", "custid")),
+        )
+        for office in offices:
+            catalog.add_view(
+                office,
+                MaterializedView(
+                    f"v_charges_{office.lower()}", view_query, total_customers
+                ),
+            )
+    catalog.validate()
+
+    stats = {
+        "customer": TableStats(
+            total_customers,
+            {
+                "custid": AttributeStats(total_customers, 0, total_customers - 1),
+                "custname": AttributeStats(total_customers),
+                "office": AttributeStats(n_offices),
+            },
+        ),
+        "invoiceline": TableStats(
+            total_lines,
+            {
+                "invid": AttributeStats(total_lines, 0, total_lines - 1),
+                "linenum": AttributeStats(lines_per_customer, 0, lines_per_customer - 1),
+                "custid": AttributeStats(total_customers, 0, total_customers - 1),
+                "charge": AttributeStats(total_lines, 0.0, 100.0),
+            },
+        ),
+    }
+
+    # Deterministic row factories consistent with the fragment predicates.
+    def customer_rows(fragment, k, rng: random.Random):
+        custid = fragment.fragment_id * customers_per_office + k
+        return {
+            "custid": custid,
+            "custname": f"cust{custid}",
+            "office": offices[fragment.fragment_id],
+        }
+
+    def invoice_rows(fragment, k, rng: random.Random):
+        if invoice_placement == "full":
+            custid = k // lines_per_customer
+            invid = k
+        else:
+            base = fragment.fragment_id * customers_per_office
+            custid = base + (k // lines_per_customer)
+            invid = fragment.fragment_id * (
+                customers_per_office * lines_per_customer
+            ) + k
+        return {
+            "invid": invid,
+            "linenum": k % lines_per_customer,
+            "custid": custid,
+            "charge": round(rng.uniform(1.0, 100.0), 2),
+        }
+
+    return TelecomScenario(
+        catalog=catalog,
+        nodes=nodes,
+        offices=offices,
+        customers_per_office=customers_per_office,
+        lines_per_customer=lines_per_customer,
+        stats=stats,
+        row_factories={
+            "customer": customer_rows,
+            "invoiceline": invoice_rows,
+        },
+        buyer=offices[0],
+    )

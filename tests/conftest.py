@@ -1,0 +1,92 @@
+"""Shared fixtures: federations, builders, and the telecom scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import FederationConfig, build_federation
+from repro.cost import (
+    CardinalityEstimator,
+    CostModel,
+    stats_for_catalog,
+)
+from repro.net import Network
+from repro.optimizer import PlanBuilder
+from repro.sql import Relation
+from repro.trading import BuyerPlanGenerator, QueryTrader, SellerAgent
+from repro.workload import build_telecom_scenario
+
+
+@pytest.fixture
+def telecom():
+    """The paper's motivating scenario (invoiceline replicated whole)."""
+    return build_telecom_scenario(
+        n_offices=4,
+        customers_per_office=200,
+        lines_per_customer=3,
+        invoice_placement="full",
+    )
+
+
+@pytest.fixture
+def telecom_colocated():
+    return build_telecom_scenario(
+        n_offices=4,
+        customers_per_office=200,
+        lines_per_customer=3,
+        invoice_placement="colocated",
+    )
+
+
+@pytest.fixture
+def telecom_schemas(telecom):
+    return telecom.catalog.schemas
+
+
+def make_federation(
+    nodes=8, n_relations=3, rows=10_000, fragments=4, replicas=2, seed=7
+):
+    """A uniform federation plus its estimator/builder plumbing."""
+    config = FederationConfig.uniform(
+        nodes=nodes,
+        n_relations=n_relations,
+        rows=rows,
+        fragments=fragments,
+        replicas=replicas,
+        seed=seed,
+    )
+    catalog, node_list = build_federation(config)
+    estimator = CardinalityEstimator(stats_for_catalog(catalog), catalog.schemas)
+    model = CostModel()
+    builder = PlanBuilder(estimator, model, schemes=catalog.schemes)
+    return catalog, node_list, estimator, model, builder
+
+
+def make_trader(catalog, node_list, builder, model, mode="dp", **kwargs):
+    """A QueryTrader over all data-holding nodes, buying from 'client'."""
+    network = Network(model)
+    sellers = {
+        node: SellerAgent(catalog.local(node), builder)
+        for node in node_list
+        if node != "client"
+    }
+    plangen = BuyerPlanGenerator(builder, "client", mode=mode)
+    return QueryTrader("client", sellers, network, plangen, **kwargs), network
+
+
+@pytest.fixture
+def federation():
+    return make_federation()
+
+
+@pytest.fixture
+def small_schemas():
+    """Tiny hand-made schemas for parser and query-model tests."""
+    return {
+        "customer": Relation.of(
+            "customer", "custid", ("custname", "str"), ("office", "str")
+        ),
+        "invoiceline": Relation.of(
+            "invoiceline", "invid", "linenum", "custid", ("charge", "float")
+        ),
+    }

@@ -1,0 +1,149 @@
+"""Unit/integration tests for the traditional-optimizer baselines."""
+
+import pytest
+
+from repro.baselines import (
+    DistributedDPOptimizer,
+    DistributedIDPOptimizer,
+    MariposaBroker,
+)
+from repro.net import MessageKind, Network
+from repro.trading import SellerAgent
+from repro.workload import chain_query
+from tests.conftest import make_federation
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_federation(nodes=8, n_relations=4, fragments=4, replicas=2)
+
+
+class TestDistributedDP:
+    def test_finds_plan(self, world):
+        catalog, nodes, estimator, model, builder = world
+        opt = DistributedDPOptimizer(catalog, builder, "client")
+        result = opt.optimize(chain_query(3, selection_cat=1))
+        assert result.found
+        assert result.enumerated > 0
+        assert result.plan_cost > 0
+
+    def test_stats_sync_messages(self, world):
+        catalog, nodes, estimator, model, builder = world
+        network = Network(model)
+        opt = DistributedDPOptimizer(catalog, builder, "client")
+        result = opt.optimize(chain_query(2), network=network)
+        others = len(catalog.nodes) - 1  # everyone except the buyer
+        assert result.messages.count(MessageKind.STATS_REQUEST) == others
+        assert result.messages.count(MessageKind.STATS_RESPONSE) == others
+        assert result.optimization_time > 0
+
+    def test_plan_delivers_to_buyer(self, world):
+        catalog, nodes, estimator, model, builder = world
+        opt = DistributedDPOptimizer(catalog, builder, "client")
+        result = opt.optimize(chain_query(3))
+        # top of the plan runs at (or delivers to) the buyer
+        from repro.optimizer.plans import Transfer
+
+        plan = result.plan
+        assert plan.site == "client" or (
+            isinstance(plan, Transfer) and plan.dest == "client"
+        )
+
+    def test_aggregate_query(self, world):
+        catalog, nodes, estimator, model, builder = world
+        opt = DistributedDPOptimizer(catalog, builder, "client")
+        result = opt.optimize(chain_query(2, aggregate=True))
+        from repro.optimizer.plans import GroupAgg
+
+        assert isinstance(result.plan, GroupAgg)
+
+    def test_enumeration_grows_with_joins(self, world):
+        catalog, nodes, estimator, model, builder = world
+        opt = DistributedDPOptimizer(catalog, builder, "client")
+        e2 = opt.optimize(chain_query(2)).enumerated
+        e4 = opt.optimize(chain_query(4)).enumerated
+        assert e4 > e2
+
+    def test_unsatisfiable_selection(self, world):
+        from repro.sql import column, conjoin, eq
+
+        catalog, nodes, estimator, model, builder = world
+        query = chain_query(1).restrict(
+            conjoin([eq(column("r0", "part"), 0), eq(column("r0", "part"), 1)])
+        )
+        opt = DistributedDPOptimizer(catalog, builder, "client")
+        assert not opt.optimize(query).found
+
+    def test_too_wide_rejected(self, world):
+        catalog, nodes, estimator, model, builder = world
+        opt = DistributedDPOptimizer(catalog, builder, "client",
+                                     max_relations=3)
+        with pytest.raises(ValueError):
+            opt.optimize(chain_query(4))
+
+
+class TestDistributedIDP:
+    def test_prunes_but_still_plans(self, world):
+        catalog, nodes, estimator, model, builder = world
+        dp = DistributedDPOptimizer(catalog, builder, "client")
+        idp = DistributedIDPOptimizer(catalog, builder, "client", m=3)
+        query = chain_query(4, selection_cat=1)
+        dp_result = dp.optimize(query)
+        idp_result = idp.optimize(query)
+        assert idp_result.found
+        assert idp_result.enumerated <= dp_result.enumerated
+        assert (
+            idp_result.plan_cost >= dp_result.plan_cost - 1e-9
+        )  # never better than exhaustive
+
+    def test_validation(self, world):
+        catalog, nodes, estimator, model, builder = world
+        with pytest.raises(ValueError):
+            DistributedIDPOptimizer(catalog, builder, "client", k=1)
+
+
+class TestMariposa:
+    def test_single_round_fewer_messages(self, world):
+        catalog, nodes, estimator, model, builder = world
+        network = Network(model)
+        sellers = {
+            node: SellerAgent(catalog.local(node), builder)
+            for node in nodes
+            if node != "client"
+        }
+        broker = MariposaBroker("client", sellers, network, builder)
+        result = broker.optimize(chain_query(3, selection_cat=1))
+        assert result.found
+        # exactly one RFB round
+        assert result.messages.count(MessageKind.RFB) == len(sellers)
+
+    def test_worse_or_equal_plans_than_qt(self, world):
+        from tests.conftest import make_trader
+
+        catalog, nodes, estimator, model, builder = world
+        query = chain_query(3, selection_cat=1)
+
+        trader, _ = make_trader(catalog, nodes, builder, model)
+        qt = trader.optimize(query)
+
+        network = Network(model)
+        sellers = {
+            node: SellerAgent(catalog.local(node), builder)
+            for node in nodes
+            if node != "client"
+        }
+        mariposa = MariposaBroker("client", sellers, network, builder)
+        mp = mariposa.optimize(query)
+        assert mp.found
+        assert mp.plan_cost >= qt.plan_cost - 1e-9
+
+    def test_single_relation(self, world):
+        catalog, nodes, estimator, model, builder = world
+        network = Network(model)
+        sellers = {
+            node: SellerAgent(catalog.local(node), builder)
+            for node in nodes
+            if node != "client"
+        }
+        broker = MariposaBroker("client", sellers, network, builder)
+        assert broker.optimize(chain_query(1)).found

@@ -1,0 +1,155 @@
+"""Unit tests for global/local catalogs and the federation generator."""
+
+import pytest
+
+from repro.catalog import Catalog, FederationConfig, build_federation
+from repro.catalog.datagen import RelationSpec
+from repro.sql import PartitionScheme, Relation
+
+
+def small_catalog():
+    catalog = Catalog()
+    rel = Relation.of("r", "id", "part", ("val", "float"))
+    scheme = PartitionScheme.by_list("r", "part", [[0], [1]], [10, 20])
+    catalog.add_relation(rel, scheme)
+    catalog.place("r", 0, "n0")
+    catalog.place("r", 1, ["n0", "n1"])
+    return catalog
+
+
+class TestCatalog:
+    def test_placement_and_holders(self):
+        catalog = small_catalog()
+        assert catalog.holders("r", 0) == frozenset({"n0"})
+        assert catalog.holders("r", 1) == frozenset({"n0", "n1"})
+
+    def test_held_by(self):
+        catalog = small_catalog()
+        assert catalog.held_by("n0") == {"r": frozenset({0, 1})}
+        assert catalog.held_by("n1") == {"r": frozenset({1})}
+        assert catalog.held_by("zzz") == {}
+
+    def test_local_catalog(self):
+        catalog = small_catalog()
+        local = catalog.local("n1")
+        assert local.holds("r", 1)
+        assert not local.holds("r", 0)
+        assert local.local_rows("r") == 20
+        assert local.held_fragments("r")[0].fragment_id == 1
+
+    def test_replication_factor(self):
+        catalog = small_catalog()
+        assert catalog.replication_factor("r") == pytest.approx(1.5)
+        assert catalog.replication_factor("zzz") == 0.0
+
+    def test_duplicate_relation_rejected(self):
+        catalog = small_catalog()
+        with pytest.raises(ValueError):
+            catalog.add_relation(Relation.of("r", "id"))
+
+    def test_scheme_name_mismatch_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(ValueError):
+            catalog.add_relation(
+                Relation.of("a", "id"), PartitionScheme.single("b")
+            )
+
+    def test_partition_attr_must_exist(self):
+        catalog = Catalog()
+        with pytest.raises(ValueError):
+            catalog.add_relation(
+                Relation.of("r", "id"),
+                PartitionScheme.by_list("r", "zzz", [[1]]),
+            )
+
+    def test_place_unknown_fragment(self):
+        catalog = small_catalog()
+        with pytest.raises(KeyError):
+            catalog.place("r", 99, "n0")
+
+    def test_validate_detects_unplaced(self):
+        catalog = Catalog()
+        catalog.add_relation(
+            Relation.of("r", "id"), PartitionScheme.single("r")
+        )
+        with pytest.raises(ValueError):
+            catalog.validate()
+
+    def test_total_rows(self):
+        assert small_catalog().total_rows("r") == 30
+
+    def test_default_scheme_is_single(self):
+        catalog = Catalog()
+        catalog.add_relation(Relation.of("r", "id"))
+        assert len(catalog.scheme("r").fragments) == 1
+
+
+class TestFederationGenerator:
+    def test_every_fragment_placed(self):
+        config = FederationConfig.uniform(
+            nodes=6, n_relations=3, fragments=4, replicas=2, seed=1
+        )
+        catalog, nodes = build_federation(config)
+        for relation, fragment_id, holders in catalog.placements():
+            assert len(holders) >= 2
+
+    def test_client_node_holds_nothing(self):
+        config = FederationConfig.uniform(nodes=4, n_relations=2)
+        catalog, nodes = build_federation(config)
+        assert "client" in nodes
+        assert catalog.held_by("client") == {}
+
+    def test_deterministic(self):
+        config = FederationConfig.uniform(
+            nodes=8, n_relations=3, replicas=3, seed=42
+        )
+        c1, _ = build_federation(config)
+        c2, _ = build_federation(config)
+        assert list(c1.placements()) == list(c2.placements())
+
+    def test_row_counts_sum(self):
+        config = FederationConfig.uniform(
+            nodes=4, n_relations=1, rows=1003, fragments=4
+        )
+        catalog, _ = build_federation(config)
+        assert catalog.total_rows("R0") == 1003
+
+    def test_range_partition_style(self):
+        config = FederationConfig(
+            nodes=4,
+            relations=(RelationSpec("R0", rows=100, fragments=4,
+                                    partition_style="range"),),
+        )
+        catalog, _ = build_federation(config)
+        assert catalog.scheme("R0").attribute == "id"
+
+    def test_single_fragment(self):
+        config = FederationConfig(
+            nodes=2, relations=(RelationSpec("R0", rows=100, fragments=1),)
+        )
+        catalog, _ = build_federation(config)
+        assert len(catalog.scheme("R0").fragments) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(nodes=0),
+            dict(nodes=2, replicas=0),
+            dict(nodes=2, replicas=3),
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            FederationConfig(relations=(RelationSpec("R0"),), **kwargs)
+
+    def test_invalid_relation_spec(self):
+        with pytest.raises(ValueError):
+            RelationSpec("R0", rows=0)
+        with pytest.raises(ValueError):
+            RelationSpec("R0", fragments=0)
+        with pytest.raises(ValueError):
+            RelationSpec("R0", partition_style="hash-ring")
+
+    def test_empty_relations_rejected(self):
+        with pytest.raises(ValueError):
+            build_federation(FederationConfig(nodes=2))

@@ -1,0 +1,79 @@
+"""Unit tests for node/network cost models."""
+
+import pytest
+
+from repro.cost import CostModel, NetworkParameters, NodeCapabilities
+
+
+class TestNodeCapabilities:
+    def test_defaults(self):
+        caps = NodeCapabilities()
+        assert caps.slowdown == 1.0
+
+    def test_load_slowdown(self):
+        caps = NodeCapabilities(load=1.0)
+        assert caps.slowdown == 2.0
+
+    def test_with_load(self):
+        caps = NodeCapabilities().with_load(0.5)
+        assert caps.load == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(cpu_rate=0), dict(io_rate=-1), dict(load=-0.1)]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NodeCapabilities(**kwargs)
+
+
+class TestNetworkParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkParameters(latency=-1)
+        with pytest.raises(ValueError):
+            NetworkParameters(bandwidth=0)
+
+
+class TestCostModel:
+    @pytest.fixture
+    def model(self):
+        return CostModel(NetworkParameters(latency=0.01, bandwidth=1e6,
+                                           row_bytes=100))
+
+    def test_scan_linear(self, model):
+        caps = NodeCapabilities(io_rate=1000)
+        assert model.scan(2000, caps) == pytest.approx(2.0)
+
+    def test_load_scales_scan(self, model):
+        caps = NodeCapabilities(io_rate=1000, load=1.0)
+        assert model.scan(1000, caps) == pytest.approx(2.0)
+
+    def test_hash_join_cheaper_than_nested_loop(self, model):
+        caps = NodeCapabilities()
+        hj = model.hash_join(10_000, 10_000, 1_000, caps)
+        nl = model.nested_loop_join(10_000, 10_000, caps)
+        assert hj < nl
+
+    def test_sort_superlinear(self, model):
+        caps = NodeCapabilities()
+        assert model.sort(10_000, caps) > 10 * model.sort(1_000, caps) / 1.4
+
+    def test_sort_tiny_input(self, model):
+        caps = NodeCapabilities()
+        assert model.sort(1, caps) > 0
+
+    def test_transfer(self, model):
+        # 1000 rows * 100 bytes / 1e6 B/s + 0.01 latency
+        assert model.transfer(1000) == pytest.approx(0.11)
+
+    def test_control_message(self, model):
+        assert model.control_message() == pytest.approx(
+            0.01 + 1024 / 1e6
+        )
+
+    def test_monetary(self, model):
+        caps = NodeCapabilities(price_per_second=2.0)
+        assert model.monetary(3.0, caps) == 6.0
+
+    def test_result_bytes(self, model):
+        assert model.result_bytes(10) == 1000

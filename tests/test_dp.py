@@ -1,0 +1,190 @@
+"""Unit tests for the local optimizers: DP, IDP-M, greedy."""
+
+import itertools
+
+import pytest
+
+from repro.optimizer import (
+    DynamicProgrammingOptimizer,
+    GreedyOptimizer,
+    IDPOptimizer,
+)
+from repro.optimizer.dp import connecting_conjuncts, subset_connected
+from repro.sql import RelationRef, SPJQuery, column, conjoin, eq
+from repro.workload import chain_query, star_query
+from tests.conftest import make_federation
+
+
+@pytest.fixture(scope="module")
+def builder():
+    *_, builder = make_federation(nodes=10, n_relations=8)
+    return builder
+
+
+class TestHelpers:
+    def test_connecting_conjuncts(self):
+        join = eq(column("a", "x"), column("b", "x"))
+        other = eq(column("c", "x"), column("d", "x"))
+        found = connecting_conjuncts(
+            [join, other], frozenset({"a"}), frozenset({"b"})
+        )
+        assert found == (join,)
+
+    def test_subset_connected(self):
+        j1 = eq(column("a", "x"), column("b", "x"))
+        j2 = eq(column("b", "x"), column("c", "x"))
+        assert subset_connected(frozenset("abc"), [j1, j2])
+        assert not subset_connected(frozenset("ac"), [j1, j2])
+        assert subset_connected(frozenset("a"), [])
+
+
+class TestDP:
+    def test_beats_or_matches_greedy(self, builder):
+        for n in (3, 4, 5):
+            query = chain_query(n, selection_cat=2)
+            dp = DynamicProgrammingOptimizer(builder).optimize(query, "node0")
+            greedy = GreedyOptimizer(builder).optimize(query, "node0")
+            assert dp.plan.response_time() <= greedy.plan.response_time() + 1e-9
+
+    def test_emits_partial_results(self, builder):
+        query = chain_query(3)
+        result = DynamicProgrammingOptimizer(builder).optimize(query, "node0")
+        # chain r0-r1-r2: connected subsets = 3 singletons + {r0,r1},
+        # {r1,r2} + full = 6
+        assert len(result.best) == 6
+
+    def test_cross_product_avoided_for_connected(self, builder):
+        query = chain_query(4)
+        result = DynamicProgrammingOptimizer(builder).optimize(query, "node0")
+        assert frozenset({"r0", "r2"}) not in result.best
+
+    def test_disconnected_query_still_planned(self, builder):
+        refs = (RelationRef.of("R0", "r0"), RelationRef.of("R1", "r1"))
+        query = SPJQuery(relations=refs)  # no join: cross product
+        result = DynamicProgrammingOptimizer(builder).optimize(query, "node0")
+        assert result.plan is not None
+
+    def test_coverage_restricts_scan(self, builder):
+        query = chain_query(1)
+        full = DynamicProgrammingOptimizer(builder).optimize(query, "node0")
+        partial = DynamicProgrammingOptimizer(builder).optimize(
+            query, "node0", coverage={"r0": frozenset({0})}
+        )
+        assert partial.plan.rows < full.plan.rows
+
+    def test_coverage_does_not_double_count_selectivity(self, builder):
+        # selection on the partition attribute equals the coverage
+        # restriction; rows must not be discounted twice
+        query = chain_query(1).restrict(eq(column("r0", "part"), 0))
+        result = DynamicProgrammingOptimizer(builder).optimize(
+            query, "node0", coverage={"r0": frozenset({0})}
+        )
+        assert result.plan.rows == pytest.approx(2500)
+
+    def test_aggregate_finish(self, builder):
+        query = chain_query(2, aggregate=True)
+        result = DynamicProgrammingOptimizer(builder).optimize(query, "node0")
+        from repro.optimizer.plans import GroupAgg
+
+        assert isinstance(result.plan, GroupAgg)
+
+    def test_order_by_finish(self, builder):
+        query = chain_query(2).with_order([column("r0", "id")])
+        result = DynamicProgrammingOptimizer(builder).optimize(query, "node0")
+        from repro.optimizer.plans import Sort
+
+        assert isinstance(result.plan, Sort)
+
+    def test_too_many_relations_rejected(self, builder):
+        query = chain_query(15)
+        with pytest.raises(ValueError):
+            DynamicProgrammingOptimizer(builder, max_relations=14).optimize(
+                query, "node0"
+            )
+
+    def test_optimal_on_star_vs_exhaustive(self, builder):
+        """DP must equal brute-force enumeration of all bushy orders on a
+        small star query."""
+        query = star_query(2, selection_cat=1)
+        dp = DynamicProgrammingOptimizer(builder).optimize(
+            query, "node0", finish=False
+        )
+        assert dp.plan is not None
+        # brute force: all permutations of left-deep joins
+        a2r = {r.alias: r.name for r in query.relations}
+        conjuncts = query.predicate.conjuncts()
+        best = None
+        aliases = sorted(query.aliases)
+        for perm in itertools.permutations(aliases):
+            scans = {}
+            for alias in perm:
+                ref = query.relation_for(alias)
+                scheme = builder.schemes[ref.name]
+                scans[alias] = builder.scan(
+                    ref,
+                    scheme.fragment_ids,
+                    query.selection_on(alias),
+                    "node0",
+                    a2r,
+                )
+            plan = scans[perm[0]]
+            covered = {perm[0]}
+            for alias in perm[1:]:
+                connecting = connecting_conjuncts(
+                    conjuncts, frozenset(covered), frozenset({alias})
+                )
+                plan = builder.join(
+                    plan, scans[alias], connecting, a2r, site="node0"
+                )
+                covered.add(alias)
+            if best is None or plan.response_time() < best:
+                best = plan.response_time()
+        assert dp.plan.response_time() <= best + 1e-9
+
+
+class TestIDP:
+    def test_matches_dp_on_small_queries(self, builder):
+        query = chain_query(4, selection_cat=1)
+        dp = DynamicProgrammingOptimizer(builder).optimize(query, "node0")
+        idp = IDPOptimizer(builder, 2, 5).optimize(query, "node0")
+        assert idp.plan is not None
+        assert idp.plan.response_time() >= dp.plan.response_time() - 1e-9
+
+    def test_enumerates_no_more_than_dp(self, builder):
+        query = chain_query(6, selection_cat=1)
+        dp = DynamicProgrammingOptimizer(builder).optimize(query, "node0")
+        idp = IDPOptimizer(builder, 2, 2).optimize(query, "node0")
+        assert idp.enumerated <= dp.enumerated
+
+    def test_always_finds_plan_despite_pruning(self, builder):
+        for n in (4, 6, 8):
+            query = chain_query(n)
+            idp = IDPOptimizer(builder, 2, 1).optimize(query, "node0")
+            assert idp.plan is not None
+
+    def test_validation(self, builder):
+        with pytest.raises(ValueError):
+            IDPOptimizer(builder, k=1)
+        with pytest.raises(ValueError):
+            IDPOptimizer(builder, m=0)
+
+
+class TestGreedy:
+    def test_handles_wide_queries(self, builder):
+        query = chain_query(8)
+        result = GreedyOptimizer(builder).optimize(query, "node0")
+        assert result.plan is not None
+
+    def test_enumerates_quadratically(self, builder):
+        q4 = chain_query(4)
+        q8 = chain_query(8)
+        e4 = GreedyOptimizer(builder).optimize(q4, "node0").enumerated
+        e8 = GreedyOptimizer(builder).optimize(q8, "node0").enumerated
+        assert e8 < e4 * 8  # far below DP growth
+
+    def test_aggregate_finish(self, builder):
+        query = chain_query(3, aggregate=True)
+        result = GreedyOptimizer(builder).optimize(query, "node0")
+        from repro.optimizer.plans import GroupAgg
+
+        assert isinstance(result.plan, GroupAgg)

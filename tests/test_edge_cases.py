@@ -1,0 +1,186 @@
+"""Edge-case coverage across modules: sorting end-to-end, non-equi
+joins, sequential trades, reservation propagation, IDP fallbacks."""
+
+import pytest
+
+from repro.baselines import DistributedIDPOptimizer
+from repro.execution import FederationData, PlanExecutor, evaluate_query
+from repro.net import Network
+from repro.sql import RelationRef, SPJQuery, column, conjoin, eq
+from repro.sql.expr import gt, lt
+from repro.trading import (
+    BuyerPlanGenerator,
+    BuyerStrategy,
+    CompetitiveSellerStrategy,
+    QueryTrader,
+    WeightedValuation,
+)
+from repro.workload import chain_query, star_query
+from tests.conftest import make_federation, make_trader
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_federation(nodes=6, n_relations=3, rows=240, fragments=3,
+                           replicas=2, seed=23)
+
+
+class TestOrderByEndToEnd:
+    def test_qt_plan_delivers_sorted_answer(self, world):
+        catalog, nodes, estimator, model, builder = world
+        query = SPJQuery(
+            relations=(RelationRef.of("R0", "r0"),),
+            predicate=eq(column("r0", "cat"), 2),
+            projections=(column("r0", "id"), column("r0", "val")),
+            order_by=(column("r0", "id"),),
+        )
+        trader, _ = make_trader(catalog, nodes, builder, model)
+        result = trader.optimize(query)
+        assert result.found
+        data = FederationData.build(catalog, seed=23)
+        answer = PlanExecutor(data, query).run(result.best.plan)
+        ids = [row[0] for row in answer.rows]
+        assert ids == sorted(ids)
+        assert answer.equals_unordered(evaluate_query(query, data))
+
+    def test_sort_free_variant_is_traded(self, world):
+        catalog, nodes, estimator, model, builder = world
+        query = chain_query(2).with_order([column("r0", "id")])
+        trader, _ = make_trader(catalog, nodes, builder, model)
+        result = trader.optimize(query)
+        assert result.found
+        # some offers answered the unsorted variant
+        keys = {c.offer.query.order_by for c in result.contracts}
+        assert () in keys or result.iterations == 1
+
+
+class TestNonEquiJoins:
+    def test_theta_join_via_nested_loop(self, world):
+        catalog, nodes, estimator, model, builder = world
+        query = SPJQuery(
+            relations=(RelationRef.of("R0", "a"), RelationRef.of("R1", "b")),
+            predicate=conjoin(
+                [
+                    eq(column("a", "cat"), 1),
+                    eq(column("b", "cat"), 2),
+                    gt(column("a", "id"), column("b", "id")),
+                ]
+            ),
+        )
+        trader, _ = make_trader(catalog, nodes, builder, model)
+        result = trader.optimize(query)
+        assert result.found
+        data = FederationData.build(catalog, seed=23)
+        answer = PlanExecutor(data, query).run(result.best.plan)
+        assert answer.equals_unordered(evaluate_query(query, data))
+
+    def test_pure_cross_product(self, world):
+        catalog, nodes, estimator, model, builder = world
+        query = SPJQuery(
+            relations=(RelationRef.of("R0", "a"), RelationRef.of("R1", "b")),
+            predicate=conjoin(
+                [eq(column("a", "cat"), 1), eq(column("b", "cat"), 2),
+                 lt(column("a", "id"), 40), lt(column("b", "id"), 40)]
+            ),
+        )
+        trader, _ = make_trader(catalog, nodes, builder, model)
+        result = trader.optimize(query)
+        assert result.found
+        data = FederationData.build(catalog, seed=23)
+        answer = PlanExecutor(data, query).run(result.best.plan)
+        assert answer.equals_unordered(evaluate_query(query, data))
+
+
+class TestSequentialTrades:
+    def test_same_trader_runs_many_queries(self, world):
+        catalog, nodes, estimator, model, builder = world
+        trader, network = make_trader(catalog, nodes, builder, model)
+        before = 0.0
+        for n in (1, 2, 3):
+            result = trader.optimize(chain_query(n, selection_cat=n))
+            assert result.found
+            # the shared clock keeps moving forward
+            assert network.now > before
+            before = network.now
+
+    def test_results_are_independent(self, world):
+        catalog, nodes, estimator, model, builder = world
+        trader, _ = make_trader(catalog, nodes, builder, model)
+        r1 = trader.optimize(chain_query(2))
+        r2 = trader.optimize(chain_query(2))
+        # same query, warm market: same plan value either way
+        assert r1.plan_cost == pytest.approx(r2.plan_cost, rel=1e-6)
+
+
+class TestReservationPropagation:
+    def test_aggressive_buyer_can_starve_the_market(self, world):
+        """A silly-low initial value makes competitive sellers decline;
+        with nothing offered, the trade fails."""
+        catalog, nodes, estimator, model, builder = world
+        network = Network(model)
+        from repro.trading import SellerAgent
+
+        sellers = {
+            node: SellerAgent(
+                catalog.local(node),
+                builder,
+                strategy=CompetitiveSellerStrategy(margin=0.2),
+            )
+            for node in nodes
+            if node != "client"
+        }
+        trader = QueryTrader(
+            "client",
+            sellers,
+            network,
+            BuyerPlanGenerator(builder, "client"),
+            buyer_strategy=BuyerStrategy(pressure=1.0, initial_value=1e-9),
+        )
+        result = trader.optimize(chain_query(2))
+        assert not result.found
+
+    def test_silent_buyer_always_gets_offers(self, world):
+        catalog, nodes, estimator, model, builder = world
+        network = Network(model)
+        from repro.trading import SellerAgent
+
+        sellers = {
+            node: SellerAgent(
+                catalog.local(node),
+                builder,
+                strategy=CompetitiveSellerStrategy(margin=0.2),
+            )
+            for node in nodes
+            if node != "client"
+        }
+        trader = QueryTrader(
+            "client",
+            sellers,
+            network,
+            BuyerPlanGenerator(builder, "client"),
+            buyer_strategy=BuyerStrategy(announce=False),
+        )
+        result = trader.optimize(chain_query(2))
+        assert result.found
+
+
+class TestIDPFallbacks:
+    def test_distributed_idp_star_query_with_tiny_beam(self, world):
+        """m=1 severs most exact assembly paths; the greedy fallback
+        must still deliver a correct plan."""
+        catalog, nodes, estimator, model, builder = world
+        query = star_query(2, selection_cat=1)
+        opt = DistributedIDPOptimizer(catalog, builder, "client", m=1)
+        result = opt.optimize(query)
+        assert result.found
+        data = FederationData.build(catalog, seed=23)
+        answer = PlanExecutor(data, query).run(result.plan)
+        assert answer.equals_unordered(evaluate_query(query, data))
+
+    def test_local_idp_star_with_tiny_beam(self, world):
+        from repro.optimizer import IDPOptimizer
+
+        catalog, nodes, estimator, model, builder = world
+        query = star_query(2, selection_cat=1)
+        result = IDPOptimizer(builder, 2, 1).optimize(query, "node0")
+        assert result.plan is not None

@@ -1,0 +1,141 @@
+"""Unit tests for cardinality/selectivity estimation."""
+
+import pytest
+
+from repro.cost import (
+    AttributeStats,
+    CardinalityEstimator,
+    TableStats,
+    stats_for_catalog,
+)
+from repro.sql import RelationRef, SPJQuery, column, conjoin, eq, in_list
+from repro.sql.expr import TRUE, ge, gt, le, lt, ne
+from repro.sql.query import Aggregate
+from tests.conftest import make_federation
+
+
+@pytest.fixture
+def estimator(federation):
+    _, _, estimator, _, _ = federation
+    return estimator
+
+
+A2R = {"r0": "R0", "r1": "R1"}
+
+
+class TestSelectivity:
+    def test_equality_uses_distinct(self, estimator):
+        sel = estimator.selectivity(eq(column("r0", "cat"), 3), A2R)
+        assert sel == pytest.approx(0.1)
+
+    def test_in_list(self, estimator):
+        sel = estimator.selectivity(
+            in_list(column("r0", "cat"), [1, 2, 3]), A2R
+        )
+        assert sel == pytest.approx(0.3)
+
+    def test_range(self, estimator):
+        sel = estimator.selectivity(lt(column("r0", "id"), 5000), A2R)
+        assert 0.45 < sel < 0.55
+
+    def test_not_equal(self, estimator):
+        sel = estimator.selectivity(ne(column("r0", "cat"), 3), A2R)
+        assert sel == pytest.approx(0.9)
+
+    def test_true_false(self, estimator):
+        from repro.sql.expr import FALSE
+
+        assert estimator.selectivity(TRUE, A2R) == 1.0
+        assert estimator.selectivity(FALSE, A2R) == 0.0
+
+    def test_conjunction_independence(self, estimator):
+        pred = conjoin(
+            [eq(column("r0", "cat"), 1), lt(column("r0", "id"), 5000)]
+        )
+        sel = estimator.selectivity(pred, A2R)
+        assert sel == pytest.approx(
+            estimator.selectivity(eq(column("r0", "cat"), 1), A2R)
+            * estimator.selectivity(lt(column("r0", "id"), 5000), A2R)
+        )
+
+    def test_disjunction(self, estimator):
+        pred = eq(column("r0", "cat"), 1) | eq(column("r0", "cat"), 2)
+        sel = estimator.selectivity(pred, A2R)
+        assert sel == pytest.approx(1 - 0.9 * 0.9)
+
+    def test_range_clamped(self, estimator):
+        assert estimator.selectivity(gt(column("r0", "id"), 10**9), A2R) == 0.0
+        assert (
+            estimator.selectivity(le(column("r0", "id"), 10**9), A2R) == 1.0
+        )
+
+    def test_join_selectivity(self, estimator):
+        join = eq(column("r0", "ref0"), column("r1", "id"))
+        sel = estimator.join_selectivity(join, A2R)
+        assert sel == pytest.approx(1.0 / 10_000)
+
+
+class TestQueryRows:
+    def test_single_relation(self, estimator):
+        q = SPJQuery(relations=(RelationRef.of("R0", "r0"),))
+        assert estimator.query_rows(q) == pytest.approx(10_000)
+
+    def test_join_cardinality(self, estimator):
+        q = SPJQuery(
+            relations=(RelationRef.of("R0", "r0"), RelationRef.of("R1", "r1")),
+            predicate=eq(column("r0", "ref0"), column("r1", "id")),
+        )
+        assert estimator.query_rows(q) == pytest.approx(10_000)
+
+    def test_selection_reduces(self, estimator):
+        q = SPJQuery(
+            relations=(RelationRef.of("R0", "r0"),),
+            predicate=eq(column("r0", "cat"), 1),
+        )
+        assert estimator.query_rows(q) == pytest.approx(1_000)
+
+    def test_base_rows_override(self, estimator):
+        q = SPJQuery(relations=(RelationRef.of("R0", "r0"),))
+        assert estimator.query_rows(q, {"r0": 500}) == pytest.approx(500)
+
+    def test_group_by_caps_output(self, estimator):
+        q = SPJQuery(
+            relations=(RelationRef.of("R0", "r0"),),
+            projections=(
+                column("r0", "cat"),
+                Aggregate("sum", column("r0", "val"), "s"),
+            ),
+            group_by=(column("r0", "cat"),),
+        )
+        assert estimator.query_rows(q) == pytest.approx(10)
+
+    def test_scalar_aggregate_is_one_row(self, estimator):
+        q = SPJQuery(
+            relations=(RelationRef.of("R0", "r0"),),
+            projections=(Aggregate("count", None, "n"),),
+        )
+        assert estimator.query_rows(q) == 1.0
+
+
+class TestStatsForCatalog:
+    def test_datagen_conventions(self, federation):
+        catalog, *_ = federation
+        stats = stats_for_catalog(catalog)
+        r0 = stats["R0"]
+        assert r0.row_count == 10_000
+        assert r0.attribute("id").distinct == 10_000
+        assert r0.attribute("part").distinct == 4
+        assert r0.attribute("cat").distinct == 10
+        assert r0.attribute("ref0").distinct == 10_000
+
+    def test_unknown_relation_default(self, estimator):
+        assert estimator.table_rows("ZZZ") == 1000
+
+    def test_attribute_stats_validation(self):
+        with pytest.raises(ValueError):
+            AttributeStats(0)
+
+    def test_table_stats_lookup(self):
+        stats = TableStats(10, {"a": AttributeStats(5)})
+        assert stats.attribute("a").distinct == 5
+        assert stats.attribute("zzz") is None

@@ -1,0 +1,204 @@
+"""Unit tests for the execution engine and reference evaluator."""
+
+import pytest
+
+from repro.cost import CardinalityEstimator, CostModel, stats_for_catalog
+from repro.execution import (
+    FederationData,
+    PlanExecutor,
+    ResultSet,
+    evaluate_query,
+)
+from repro.execution.tables import Table, materialize_catalog
+from repro.optimizer import DynamicProgrammingOptimizer, PlanBuilder
+from repro.sql import Relation, RelationRef, SPJQuery, column, conjoin, eq
+from repro.sql.query import Aggregate
+from repro.workload import chain_query
+from tests.conftest import make_federation
+
+
+@pytest.fixture(scope="module")
+def world():
+    catalog, nodes, estimator, model, builder = make_federation(
+        nodes=6, n_relations=3, rows=300, fragments=3, replicas=2, seed=5
+    )
+    data = FederationData.build(catalog, seed=1)
+    return catalog, builder, data
+
+
+class TestTable:
+    def test_from_rows_round_trip(self):
+        rel = Relation.of("r", "a", ("b", "float"), ("c", "str"))
+        table = Table.from_rows(
+            rel, [{"a": 1, "b": 2.5, "c": "x"}, {"a": 2, "b": 0.5, "c": "y"}]
+        )
+        assert table.row_count == 2
+        rows = table.rows_as_dicts("t")
+        assert rows[0][column("t", "a")] == 1
+        assert rows[1][column("t", "c")] == "y"
+        # values are native python, not numpy scalars
+        assert type(rows[0][column("t", "a")]) is int
+
+    def test_schema_mismatch_rejected(self):
+        rel = Relation.of("r", "a")
+        with pytest.raises(ValueError):
+            Table(rel, {"zzz": __import__("numpy").array([1])})
+
+    def test_concat(self):
+        rel = Relation.of("r", "a")
+        t1 = Table.from_rows(rel, [{"a": 1}])
+        t2 = Table.from_rows(rel, [{"a": 2}])
+        assert t1.concat(t2).row_count == 2
+
+
+class TestMaterialization:
+    def test_fragment_rows_respect_predicates(self, world):
+        catalog, _, data = world
+        for name in catalog.relation_names():
+            scheme = catalog.scheme(name)
+            for fragment in scheme.fragments:
+                table = data.tables[(name, fragment.fragment_id)]
+                assert table.row_count == fragment.row_count
+                for row in table.rows_as_dicts(name):
+                    from repro.sql.expr import TRUE
+
+                    if fragment.predicate is not TRUE:
+                        assert fragment.predicate.evaluate(row)
+
+    def test_deterministic(self, world):
+        catalog, _, _ = world
+        t1 = materialize_catalog(catalog, seed=9)
+        t2 = materialize_catalog(catalog, seed=9)
+        key = ("R0", 0)
+        assert (
+            t1[key].columns["val"] == t2[key].columns["val"]
+        ).all()
+
+
+class TestReferenceEvaluator:
+    def test_selection(self, world):
+        catalog, _, data = world
+        query = chain_query(1, selection_cat=3)
+        result = evaluate_query(query, data)
+        cat_index = list(result.columns).index("r0.cat")
+        assert all(row[cat_index] == 3 for row in result.rows)
+
+    def test_join_matches_manual(self, world):
+        catalog, _, data = world
+        query = chain_query(2)
+        result = evaluate_query(query, data)
+        # manual nested-loop check on a sample
+        r0 = {
+            row[column("x", "id")]: row
+            for row in data.relation_rows("R1", "x")
+        }
+        expected = 0
+        for row in data.relation_rows("R0", "y"):
+            if row[column("y", "ref0")] in r0:
+                expected += 1
+        assert len(result.rows) == expected
+
+    def test_coverage_restricts(self, world):
+        catalog, _, data = world
+        query = chain_query(1)
+        full = evaluate_query(query, data)
+        partial = evaluate_query(
+            query, data, coverage={"r0": frozenset({0})}
+        )
+        assert len(partial.rows) < len(full.rows)
+
+    def test_aggregate(self, world):
+        catalog, _, data = world
+        query = chain_query(1, aggregate=True)
+        result = evaluate_query(query, data)
+        # one row per part fragment value
+        assert len(result.rows) == 3
+        total = sum(row[1] for row in result.rows)
+        raw = sum(
+            row[column("r0", "val")]
+            for row in data.relation_rows("R0", "r0")
+        )
+        assert total == pytest.approx(raw)
+
+    def test_scalar_aggregate_on_empty_input(self, world):
+        catalog, _, data = world
+        query = SPJQuery(
+            relations=(RelationRef.of("R0", "r0"),),
+            predicate=conjoin(
+                [eq(column("r0", "cat"), 3), eq(column("r0", "cat"), 4)]
+            ),
+            projections=(Aggregate("count", None, "n"),),
+        )
+        result = evaluate_query(query, data)
+        assert result.rows == [(0,)]
+
+    def test_distinct(self, world):
+        catalog, _, data = world
+        query = SPJQuery(
+            relations=(RelationRef.of("R0", "r0"),),
+            projections=(column("r0", "cat"),),
+            distinct=True,
+        )
+        result = evaluate_query(query, data)
+        assert len(result.rows) == len(set(result.rows))
+
+    def test_order_by(self, world):
+        catalog, _, data = world
+        query = SPJQuery(
+            relations=(RelationRef.of("R0", "r0"),),
+            projections=(column("r0", "id"),),
+            order_by=(column("r0", "id"),),
+        )
+        result = evaluate_query(query, data)
+        values = [row[0] for row in result.rows]
+        assert values == sorted(values)
+        assert result.ordered
+
+
+class TestPlanExecutor:
+    def test_local_plan_matches_reference(self, world):
+        catalog, builder, data = world
+        query = chain_query(2, selection_cat=1)
+        plan = DynamicProgrammingOptimizer(builder).optimize(
+            query, "node0"
+        ).plan
+        got = PlanExecutor(data, query).run(plan)
+        ref = evaluate_query(query, data)
+        assert got.equals_unordered(ref)
+
+    def test_aggregate_plan_matches_reference(self, world):
+        catalog, builder, data = world
+        query = chain_query(2, aggregate=True)
+        plan = DynamicProgrammingOptimizer(builder).optimize(
+            query, "node0"
+        ).plan
+        got = PlanExecutor(data, query).run(plan)
+        ref = evaluate_query(query, data)
+        assert got.equals_unordered(ref)
+
+    def test_coverage_scan(self, world):
+        catalog, builder, data = world
+        query = chain_query(1)
+        plan = DynamicProgrammingOptimizer(builder).optimize(
+            query, "node0", coverage={"r0": frozenset({1})}
+        ).plan
+        got = PlanExecutor(data, query).run(plan)
+        ref = evaluate_query(query, data, coverage={"r0": frozenset({1})})
+        assert got.equals_unordered(ref)
+
+
+class TestResultSet:
+    def test_equals_unordered(self):
+        a = ResultSet(("x",), [(1,), (2,)])
+        b = ResultSet(("x",), [(2,), (1,)])
+        assert a.equals_unordered(b)
+
+    def test_float_rounding(self):
+        a = ResultSet(("x",), [(0.1 + 0.2,)])
+        b = ResultSet(("x",), [(0.3,)])
+        assert a.equals_unordered(b)
+
+    def test_differs(self):
+        a = ResultSet(("x",), [(1,)])
+        b = ResultSet(("x",), [(2,)])
+        assert not a.equals_unordered(b)

@@ -1,0 +1,102 @@
+"""Tests for the freshness dimension of offers and valuations."""
+
+import pytest
+
+from repro.cost import CardinalityEstimator, CostModel
+from repro.net import Network
+from repro.optimizer import PlanBuilder
+from repro.trading import (
+    BuyerPlanGenerator,
+    QueryTrader,
+    RequestForBids,
+    SellerAgent,
+    WeightedValuation,
+)
+from repro.workload import chain_query
+from tests.conftest import make_federation
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_federation(nodes=6, n_relations=1, rows=2_000, fragments=2,
+                           replicas=3, seed=17)
+
+
+def build_market(world, stale_nodes, freshness=0.5):
+    catalog, nodes, estimator, model, builder = world
+    network = Network(model)
+    sellers = {
+        node: SellerAgent(
+            catalog.local(node),
+            builder,
+            freshness=freshness if node in stale_nodes else 1.0,
+        )
+        for node in nodes
+        if node != "client"
+    }
+    return network, sellers, builder
+
+
+class TestFreshnessFlows:
+    def test_offers_carry_seller_freshness(self, world):
+        catalog, nodes, estimator, model, builder = world
+        holder = next(iter(catalog.holders("R0", 0)))
+        agent = SellerAgent(catalog.local(holder), builder, freshness=0.7)
+        offers, _ = agent.prepare_offers(
+            RequestForBids("client", (chain_query(1),))
+        )
+        assert offers
+        assert all(o.properties.freshness == 0.7 for o in offers)
+
+    def test_invalid_freshness_rejected(self, world):
+        catalog, nodes, estimator, model, builder = world
+        with pytest.raises(ValueError):
+            SellerAgent(catalog.local("node0"), builder, freshness=1.5)
+
+    def test_view_freshness_validation(self):
+        from repro.sql import RelationRef, SPJQuery
+        from repro.sql.views import MaterializedView
+
+        with pytest.raises(ValueError):
+            MaterializedView(
+                "v",
+                SPJQuery(relations=(RelationRef.of("R0", "r"),)),
+                row_count=1,
+                freshness=2.0,
+            )
+
+
+class TestStalenessAverseBuyer:
+    def _winners(self, world, valuation):
+        catalog, nodes, *_ = world
+        # make every data holder except one stale
+        holders = sorted(
+            {n for _, _, hs in catalog.placements() for n in hs}
+        )
+        fresh_node = holders[0]
+        stale = set(holders) - {fresh_node}
+        network, sellers, builder = build_market(world, stale)
+        trader = QueryTrader(
+            "client",
+            sellers,
+            network,
+            BuyerPlanGenerator(builder, "client", valuation=valuation),
+            valuation=valuation,
+        )
+        result = trader.optimize(chain_query(1))
+        assert result.found
+        return fresh_node, {c.seller for c in result.contracts}, result
+
+    def test_indifferent_buyer_ignores_staleness(self, world):
+        _, winners, _ = self._winners(world, WeightedValuation())
+        assert winners  # any seller acceptable
+
+    def test_averse_buyer_prefers_fresh_data(self, world):
+        fresh_node, winners, result = self._winners(
+            world, WeightedValuation(staleness_penalty=100.0)
+        )
+        # the only fully fresh holder wins whatever it can supply
+        assert fresh_node in winners
+        for contract in result.contracts:
+            if contract.seller == fresh_node:
+                assert contract.agreed.freshness == 1.0

@@ -1,0 +1,155 @@
+"""End-to-end correctness: every optimizer's plan must compute the same
+answer as a centralized evaluation of the original query.
+
+This is the framework's master invariant — trading may change *where* and
+*how* the query runs, never *what* it returns.
+"""
+
+import pytest
+
+from repro.baselines import (
+    DistributedDPOptimizer,
+    DistributedIDPOptimizer,
+    MariposaBroker,
+)
+from repro.execution import FederationData, PlanExecutor, evaluate_query
+from repro.net import Network
+from repro.trading import SellerAgent
+from repro.workload import WorkloadConfig, chain_query, generate_workload, star_query
+from tests.conftest import make_federation, make_trader
+
+
+def small_world(seed, fragments=3, replicas=2, nodes=6):
+    catalog, node_list, estimator, model, builder = make_federation(
+        nodes=nodes,
+        n_relations=4,
+        rows=240,
+        fragments=fragments,
+        replicas=replicas,
+        seed=seed,
+    )
+    data = FederationData.build(catalog, seed=seed)
+    return catalog, node_list, model, builder, data
+
+
+QUERIES = [
+    chain_query(1, selection_cat=2),
+    chain_query(2),
+    chain_query(2, selection_cat=1),
+    chain_query(3, selection_cat=4),
+    chain_query(2, aggregate=True),
+    chain_query(3, aggregate=True, selection_cat=0),
+    star_query(2, selection_cat=3),
+    star_query(2, aggregate=True),
+]
+
+
+class TestQTCorrectness:
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.sql()[:60])
+    def test_qt_plan_equals_centralized(self, query):
+        catalog, node_list, model, builder, data = small_world(seed=13)
+        trader, _ = make_trader(catalog, node_list, builder, model)
+        result = trader.optimize(query)
+        assert result.found, f"no plan for {query.sql()}"
+        got = PlanExecutor(data, query).run(result.best.plan)
+        ref = evaluate_query(query, data)
+        assert got.equals_unordered(ref), query.sql()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_worlds(self, seed):
+        catalog, node_list, model, builder, data = small_world(
+            seed=seed, fragments=2 + seed % 3, replicas=1 + seed % 2
+        )
+        trader, _ = make_trader(catalog, node_list, builder, model)
+        for query in generate_workload(
+            WorkloadConfig(
+                queries=4,
+                min_relations=1,
+                max_relations=3,
+                available_relations=4,
+                seed=seed,
+            )
+        ):
+            result = trader.optimize(query)
+            assert result.found, query.sql()
+            got = PlanExecutor(data, query).run(result.best.plan)
+            ref = evaluate_query(query, data)
+            assert got.equals_unordered(ref), query.sql()
+
+    def test_idp_plan_generator_correct(self):
+        catalog, node_list, model, builder, data = small_world(seed=21)
+        trader, _ = make_trader(
+            catalog, node_list, builder, model, mode="idp"
+        )
+        query = chain_query(3, selection_cat=2)
+        result = trader.optimize(query)
+        assert result.found
+        got = PlanExecutor(data, query).run(result.best.plan)
+        assert got.equals_unordered(evaluate_query(query, data))
+
+
+class TestBaselineCorrectness:
+    @pytest.mark.parametrize(
+        "query",
+        [chain_query(2, selection_cat=1), chain_query(3),
+         chain_query(2, aggregate=True)],
+        ids=lambda q: q.sql()[:50],
+    )
+    def test_distributed_dp_equals_centralized(self, query):
+        catalog, node_list, model, builder, data = small_world(seed=31)
+        opt = DistributedDPOptimizer(catalog, builder, "client")
+        result = opt.optimize(query)
+        assert result.found
+        got = PlanExecutor(data, query).run(result.plan)
+        assert got.equals_unordered(evaluate_query(query, data))
+
+    def test_distributed_idp_equals_centralized(self):
+        catalog, node_list, model, builder, data = small_world(seed=32)
+        query = chain_query(3, selection_cat=1)
+        opt = DistributedIDPOptimizer(catalog, builder, "client", m=2)
+        result = opt.optimize(query)
+        assert result.found
+        got = PlanExecutor(data, query).run(result.plan)
+        assert got.equals_unordered(evaluate_query(query, data))
+
+    def test_mariposa_equals_centralized(self):
+        catalog, node_list, model, builder, data = small_world(seed=33)
+        query = chain_query(2, selection_cat=2)
+        network = Network(model)
+        sellers = {
+            node: SellerAgent(catalog.local(node), builder)
+            for node in node_list
+            if node != "client"
+        }
+        broker = MariposaBroker("client", sellers, network, builder)
+        result = broker.optimize(query)
+        assert result.found
+        got = PlanExecutor(data, query).run(result.plan)
+        assert got.equals_unordered(evaluate_query(query, data))
+
+
+class TestCrossOptimizerConsistency:
+    def test_all_optimizers_same_answer(self):
+        """QT, DistDP, and Mariposa plans all compute identical results."""
+        catalog, node_list, model, builder, data = small_world(seed=44)
+        query = chain_query(3, selection_cat=1)
+        answers = []
+
+        trader, _ = make_trader(catalog, node_list, builder, model)
+        qt = trader.optimize(query)
+        answers.append(PlanExecutor(data, query).run(qt.best.plan))
+
+        dp = DistributedDPOptimizer(catalog, builder, "client").optimize(query)
+        answers.append(PlanExecutor(data, query).run(dp.plan))
+
+        network = Network(model)
+        sellers = {
+            node: SellerAgent(catalog.local(node), builder)
+            for node in node_list
+            if node != "client"
+        }
+        mp = MariposaBroker("client", sellers, network, builder).optimize(query)
+        answers.append(PlanExecutor(data, query).run(mp.plan))
+
+        for other in answers[1:]:
+            assert answers[0].equals_unordered(other)

@@ -1,0 +1,81 @@
+"""Tests for market-based load balancing across repeated trades."""
+
+import pytest
+
+from repro.cost import NodeCapabilities
+from repro.net import Network
+from repro.trading import BuyerPlanGenerator, Marketplace, QueryTrader, SellerAgent
+from repro.workload import chain_query
+from tests.conftest import make_federation
+
+
+def build_marketplace(replicas=3, **market_kwargs):
+    catalog, nodes, estimator, model, builder = make_federation(
+        nodes=6, n_relations=1, rows=8_000, fragments=2, replicas=replicas,
+        seed=13,
+    )
+    # slow IO so execution work (and therefore load feedback) matters
+    for node in nodes:
+        builder.capabilities[node] = NodeCapabilities(
+            cpu_rate=5e5, io_rate=5e4
+        )
+    network = Network(model)
+    sellers = {
+        node: SellerAgent(catalog.local(node), builder)
+        for node in nodes
+        if node != "client"
+    }
+    trader = QueryTrader(
+        "client", sellers, network, BuyerPlanGenerator(builder, "client")
+    )
+    return catalog, Marketplace(trader, **market_kwargs)
+
+
+class TestLoadFeedback:
+    def test_winning_raises_load(self):
+        catalog, market = build_marketplace()
+        result = market.trade(chain_query(1))
+        assert result.found
+        winners = {c.seller for c in result.contracts}
+        loads = market.loads()
+        assert all(loads[node] > 0 for node in winners)
+
+    def test_contract_counts_tracked(self):
+        catalog, market = build_marketplace()
+        results = market.trade_many(chain_query(1), 3)
+        assert all(r.found for r in results)
+        total = sum(market.contract_counts.values())
+        assert total == sum(len(r.contracts) for r in results)
+
+    def test_load_drains_over_time(self):
+        catalog, market = build_marketplace(drain_rate=1e6)
+        market.trade(chain_query(1))
+        market.trade(chain_query(1))  # drain happens before the 2nd trade
+        # with an enormous drain rate the 2nd trade starts from ~idle
+        # loads; after it only the 2nd round's winners carry load
+        loaded = {n for n, l in market.loads().items() if l > 0}
+        assert loaded  # winners of the latest trade
+
+    def test_winners_rotate_under_load(self):
+        """Market-based load balancing: with replicas available, hammering
+        the same query spreads contracts across more sellers than a
+        feedback-free market would use."""
+        catalog, market = build_marketplace(load_per_second=200.0,
+                                            drain_rate=0.0)
+        results = market.trade_many(chain_query(1), 6)
+        assert all(r.found for r in results)
+        sellers_used = set(market.contract_counts)
+        # feedback-free baseline: same trader, no booking
+        catalog2, market2 = build_marketplace(load_per_second=0.0,
+                                              drain_rate=0.0)
+        for _ in range(6):
+            market2.trade(chain_query(1))
+        assert len(sellers_used) >= len(set(market2.contract_counts))
+
+    def test_failed_trade_books_nothing(self):
+        catalog, market = build_marketplace()
+        # an unanswerable query: strip the market
+        market.trader.sellers = {}
+        result = market.trade(chain_query(1))
+        assert not result.found
+        assert market.contract_counts == {}

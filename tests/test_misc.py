@@ -1,0 +1,133 @@
+"""Remaining edge paths: DNF caps, valuation monotonicity, award corner
+cases, simulator ordering property."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.net import Network, Simulator
+from repro.sql import column, in_list
+from repro.sql.expr import (
+    InList,
+    Not,
+    Or,
+    _dnf,
+    eq,
+    ge,
+    lt,
+    satisfiable,
+)
+from repro.trading import AnswerProperties, WeightedValuation
+from repro.trading.protocols import BiddingProtocol
+from repro.cost import CostModel
+
+
+C = column("t", "a")
+
+
+class TestDnf:
+    def test_cap_exceeded_returns_none(self):
+        wide = Or(tuple(eq(C, i) for i in range(20)))
+        deep = wide
+        for _ in range(3):
+            deep = deep & wide
+        assert _dnf(deep, cap=64) is None
+        # satisfiable degrades gracefully (assumes satisfiable)
+        assert satisfiable(deep)
+
+    def test_not_treated_as_atom(self):
+        pred = Not(in_list(C, [1, 2]))
+        disjuncts = _dnf(pred)
+        assert disjuncts is not None
+        assert satisfiable(pred)
+
+    def test_empty_or(self):
+        from repro.sql.expr import FALSE
+
+        assert _dnf(FALSE) == []
+        assert not satisfiable(FALSE)
+
+
+class TestValuationMonotonicity:
+    @given(
+        t=st.floats(0, 100),
+        extra=st.floats(0.001, 50),
+        money=st.floats(0, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_more_time_never_cheaper(self, t, extra, money):
+        v = WeightedValuation(money_weight=0.5)
+        a = AnswerProperties(total_time=t, rows=1, money=money)
+        b = AnswerProperties(total_time=t + extra, rows=1, money=money)
+        assert v(b) >= v(a)
+
+    @given(f=st.floats(0, 1), g=st.floats(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_staleness_penalty_ordering(self, f, g):
+        v = WeightedValuation(staleness_penalty=5.0)
+        a = AnswerProperties(total_time=1, rows=1, freshness=f)
+        b = AnswerProperties(total_time=1, rows=1, freshness=g)
+        if f > g:
+            assert v(a) <= v(b)
+
+
+class TestAwardCorners:
+    def test_award_with_no_winners(self, telecom):
+        from repro.cost import CardinalityEstimator
+        from repro.optimizer import PlanBuilder
+        from repro.trading import RequestForBids, SellerAgent
+
+        estimator = CardinalityEstimator(
+            telecom.stats, telecom.catalog.schemas
+        )
+        builder = PlanBuilder(
+            estimator, CostModel(), schemes=telecom.catalog.schemes
+        )
+        network = Network(CostModel())
+        sellers = {
+            node: SellerAgent(telecom.catalog.local(node), builder)
+            for node in telecom.nodes
+        }
+        protocol = BiddingProtocol()
+        result = protocol.solicit(
+            network, "buyer", sellers,
+            RequestForBids("buyer", (telecom.manager_query(),)),
+        )
+        final = protocol.award(network, "buyer", [], result.offers, sellers)
+        assert final == []
+        # every offering seller got a rejection
+        from repro.net import MessageKind
+
+        rejected = network.stats.count(MessageKind.REJECT)
+        assert rejected == len({o.seller for o in result.offers})
+
+
+class TestSimulatorOrderingProperty:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_events_observed_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run_until_idle()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+
+class TestNetworkBytes:
+    def test_bytes_accumulate(self):
+        from repro.net import Message, MessageKind
+
+        net = Network(CostModel())
+        net.register("a", lambda n, m: None)
+        net.register("b", lambda n, m: None)
+        net.send(Message(MessageKind.DATA, "a", "b", None, size_bytes=100))
+        net.send(Message(MessageKind.DATA, "a", "b", None, size_bytes=50))
+        net.run()
+        assert net.stats.bytes == 150

@@ -1,0 +1,160 @@
+"""Unit tests for the discrete-event network simulator."""
+
+import pytest
+
+from repro.cost import CostModel, NetworkParameters
+from repro.net import Message, MessageKind, Network, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.run_until_idle()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(1.0, lambda: log.append(2))
+        sim.run_until_idle()
+        assert log == [1, 2]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run_until_idle()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_runaway_detection(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle(max_events=100)
+
+
+class TestNetwork:
+    @pytest.fixture
+    def net(self):
+        model = CostModel(
+            NetworkParameters(
+                latency=0.01, bandwidth=1e6, control_message_bytes=1000
+            )
+        )
+        return Network(model)
+
+    def test_message_delivery_and_stats(self, net):
+        received = []
+        net.register("a", lambda n, m: None)
+        net.register("b", lambda n, m: received.append(m))
+        net.send(Message(MessageKind.RFB, "a", "b", "hello"))
+        net.run()
+        assert len(received) == 1
+        assert received[0].payload == "hello"
+        assert net.stats.messages == 1
+        assert net.stats.count(MessageKind.RFB) == 1
+        assert net.stats.bytes == 1000
+        assert net.now == pytest.approx(0.011)
+
+    def test_unknown_recipient(self, net):
+        with pytest.raises(KeyError):
+            net.send(Message(MessageKind.RFB, "a", "zzz", None))
+
+    def test_duplicate_registration_rejected(self, net):
+        net.register("a", lambda n, m: None)
+        with pytest.raises(ValueError):
+            net.register("a", lambda n, m: None)
+
+    def test_compute_serializes_per_node(self, net):
+        t1 = net.compute("a", 5.0)
+        t2 = net.compute("a", 5.0)
+        assert (t1, t2) == (5.0, 10.0)
+
+    def test_compute_parallel_across_nodes(self, net):
+        assert net.compute("a", 5.0) == 5.0
+        assert net.compute("b", 5.0) == 5.0
+
+    def test_negative_compute_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.compute("a", -1)
+
+    def test_earliest_defers_send(self, net):
+        received_at = []
+        net.register("a", lambda n, m: None)
+        net.register("b", lambda n, m: received_at.append(n.now))
+        net.send(Message(MessageKind.OFFER, "a", "b", None), earliest=5.0)
+        net.run()
+        assert received_at[0] == pytest.approx(5.011)
+
+    def test_broadcast_skips_sender(self, net):
+        seen = []
+        for node in ("a", "b", "c"):
+            net.register(node, lambda n, m: seen.append(m.recipient))
+        count = net.broadcast("a", ["a", "b", "c"], MessageKind.RFB, None)
+        net.run()
+        assert count == 2
+        assert sorted(seen) == ["b", "c"]
+
+    def test_size_drives_delay(self, net):
+        times = {}
+        net.register("a", lambda n, m: None)
+        net.register("b", lambda n, m: times.setdefault(m.payload, n.now))
+        net.send(Message(MessageKind.DATA, "a", "b", "big", size_bytes=10**6))
+        net.send(Message(MessageKind.DATA, "a", "b", "small", size_bytes=10))
+        net.run()
+        assert times["small"] < times["big"]
+
+    def test_stats_delta(self, net):
+        net.register("a", lambda n, m: None)
+        net.register("b", lambda n, m: None)
+        net.send(Message(MessageKind.RFB, "a", "b", None))
+        net.run()
+        snap = net.stats.snapshot()
+        net.send(Message(MessageKind.OFFER, "b", "a", None))
+        net.run()
+        delta = net.stats.delta_since(snap)
+        assert delta.messages == 1
+        assert delta.count(MessageKind.OFFER) == 1
+        assert delta.count(MessageKind.RFB) == 0
+
+    def test_reply_from_handler(self, net):
+        """A seller-style handler replying after computing."""
+        replies = []
+
+        def seller(n, m):
+            done = n.compute("b", 2.0)
+            n.send(
+                Message(MessageKind.OFFER, "b", "a", "offer"), earliest=done
+            )
+
+        net.register("a", lambda n, m: replies.append(n.now))
+        net.register("b", seller)
+        net.send(Message(MessageKind.RFB, "a", "b", None))
+        net.run()
+        # 0.011 delivery, compute finishes at 2.011, + 0.011 reply
+        assert replies[0] == pytest.approx(2.022, abs=1e-3)
+
+    def test_unregister(self, net):
+        net.register("a", lambda n, m: None)
+        net.unregister("a")
+        net.register("a", lambda n, m: None)  # no error
+        assert "a" in net.nodes

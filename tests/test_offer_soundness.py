@@ -1,0 +1,114 @@
+"""Offer soundness: what a seller promises is what its query delivers.
+
+Two invariants for every offer any seller produces:
+
+1. **Coverage/predicate agreement** — the offered query's own predicate
+   already pins it to exactly the declared fragment coverage: evaluating
+   it over the *whole* federation yields the same answer as evaluating it
+   restricted to the declared coverage.  (The union-of-overlapping-ranges
+   bug this guards against produced offers whose declared coverage was
+   provably empty.)
+
+2. **Partition exactness** — for the requested query, the multiset union
+   of single-relation offers over a disjoint fragment cover equals the
+   relation's full (selected) content: nothing lost, nothing duplicated.
+"""
+
+import pytest
+
+from repro.execution import FederationData, evaluate_query
+from repro.trading import RequestForBids, SellerAgent
+from repro.workload import chain_query, star_query
+from tests.conftest import make_federation
+
+
+def world_offers(seed, query, fragments=3, replicas=2):
+    catalog, nodes, estimator, model, builder = make_federation(
+        nodes=6, n_relations=4, rows=180, fragments=fragments,
+        replicas=replicas, seed=seed,
+    )
+    data = FederationData.build(catalog, seed=seed)
+    offers = []
+    for node in nodes:
+        if node == "client":
+            continue
+        agent = SellerAgent(catalog.local(node), builder)
+        got, _ = agent.prepare_offers(RequestForBids("client", (query,)))
+        offers.extend(got)
+    return catalog, data, offers
+
+
+QUERIES = [
+    chain_query(1, selection_cat=2),
+    chain_query(2, selection_cat=1),
+    chain_query(3),
+    chain_query(2, aggregate=True),
+    star_query(2, selection_cat=3),
+]
+
+
+class TestCoveragePredicateAgreement:
+    @pytest.mark.parametrize("seed", [3, 11])
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.sql()[:45])
+    def test_offer_query_pins_its_coverage(self, seed, query):
+        catalog, data, offers = world_offers(seed, query)
+        assert offers
+        for offer in offers:
+            unrestricted = evaluate_query(offer.query, data)
+            restricted = evaluate_query(
+                offer.query,
+                data,
+                coverage={
+                    alias: frozenset(fids)
+                    for alias, fids in offer.coverage.items()
+                },
+            )
+            assert unrestricted.equals_unordered(restricted), (
+                offer.describe(),
+                offer.query.sql(),
+            )
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_no_provably_empty_offers_with_claimed_coverage(self, seed):
+        """An offer claiming non-empty coverage whose answer is empty for
+        structural (not data) reasons indicates the rewrite lied."""
+        query = chain_query(1, selection_cat=2)
+        catalog, data, offers = world_offers(seed, query)
+        for offer in offers:
+            if offer.aliases != frozenset({"r0"}):
+                continue
+            from repro.sql.expr import satisfiable
+
+            assert satisfiable(offer.query.predicate), offer.query.sql()
+
+
+class TestPartitionExactness:
+    @pytest.mark.parametrize("seed", [5, 9])
+    def test_disjoint_cover_unions_to_full_relation(self, seed):
+        query = chain_query(2, selection_cat=4)
+        catalog, data, offers = world_offers(seed, query)
+        scheme = catalog.scheme("R0")
+        # assemble any disjoint cover of r0 from single-relation offers
+        singles = sorted(
+            (o for o in offers if set(o.coverage) == {"r0"}),
+            key=lambda o: -len(o.coverage["r0"]),
+        )
+        chosen = []
+        covered: frozenset[int] = frozenset()
+        for offer in singles:
+            fids = frozenset(offer.coverage["r0"])
+            if fids & covered:
+                continue
+            chosen.append(offer)
+            covered |= fids
+            if covered == scheme.fragment_ids:
+                break
+        assert covered == scheme.fragment_ids, "offers cannot cover r0"
+        union_rows: list = []
+        for offer in chosen:
+            part = evaluate_query(offer.query, data)
+            union_rows.extend(part.canonical())
+        reference = evaluate_query(query.subquery_on(["r0"]), data)
+        assert sorted(union_rows, key=repr) == sorted(
+            reference.canonical(), key=repr
+        )

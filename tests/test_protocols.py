@@ -1,0 +1,190 @@
+"""Unit tests for the negotiation protocols."""
+
+import pytest
+
+from repro.cost import CardinalityEstimator, CostModel
+from repro.net import MessageKind, Network
+from repro.optimizer import PlanBuilder
+from repro.trading import (
+    AdaptiveMarginStrategy,
+    BargainingProtocol,
+    BiddingProtocol,
+    CompetitiveSellerStrategy,
+    RequestForBids,
+    SellerAgent,
+    VickreyAuctionProtocol,
+)
+
+
+@pytest.fixture
+def world(telecom):
+    estimator = CardinalityEstimator(telecom.stats, telecom.catalog.schemas)
+    builder = PlanBuilder(
+        estimator, CostModel(), schemes=telecom.catalog.schemes
+    )
+    network = Network(CostModel())
+    sellers = {
+        node: SellerAgent(telecom.catalog.local(node), builder)
+        for node in telecom.nodes
+    }
+    return telecom, network, sellers
+
+
+class TestBidding:
+    def test_collects_offers_and_counts_messages(self, world):
+        telecom, network, sellers = world
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        result = BiddingProtocol().solicit(network, "buyer", sellers, rfb)
+        assert result.offers
+        # one RFB per seller, one reply per seller
+        assert network.stats.count(MessageKind.RFB) == len(sellers)
+        replies = network.stats.count(MessageKind.OFFER) + network.stats.count(
+            MessageKind.NO_OFFER
+        )
+        assert replies == len(sellers)
+        assert result.elapsed > 0
+
+    def test_sellers_work_in_parallel(self, world):
+        """Round time is bounded by the slowest seller, not the sum."""
+        telecom, network, sellers = world
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        result = BiddingProtocol().solicit(network, "buyer", sellers, rfb)
+        busiest = max(network.busy_until(n) for n in sellers)
+        total_work = sum(network.busy_until(n) for n in sellers)
+        assert result.finished_at < total_work or busiest == total_work
+        reply_delay = (
+            network.cost_model.network.latency
+            + network.cost_model.network.control_message_bytes
+            / network.cost_model.network.bandwidth
+        )
+        assert result.finished_at == pytest.approx(
+            busiest + reply_delay, rel=0.05
+        )
+
+    def test_award_notifies_winners_and_losers(self, world):
+        telecom, network, sellers = world
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        protocol = BiddingProtocol()
+        result = protocol.solicit(network, "buyer", sellers, rfb)
+        winning = result.offers[:1]
+        losing = result.offers[1:]
+        final = protocol.award(network, "buyer", winning, losing, sellers)
+        assert final == winning
+        assert network.stats.count(MessageKind.AWARD) == 1
+        assert network.stats.count(MessageKind.REJECT) >= 1
+
+
+class TestVickrey:
+    def test_winner_pays_second_price(self, world):
+        telecom, network, sellers = world
+        competitive = {
+            node: SellerAgent(
+                telecom.catalog.local(node),
+                sellers[node].builder,
+                strategy=CompetitiveSellerStrategy(
+                    margin=0.1 * (i + 1)
+                ),
+            )
+            for i, node in enumerate(sorted(sellers))
+        }
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        protocol = VickreyAuctionProtocol()
+        result = protocol.solicit(network, "buyer", competitive, rfb)
+        # pick the cheapest full offer per request key
+        offers = sorted(result.offers, key=lambda o: o.properties.money)
+        winner, losers = offers[0], offers[1:]
+        final = protocol.settle_prices([winner], losers)
+        competing = sorted(
+            o.properties.money
+            for o in result.offers
+            if o.request_key == winner.request_key
+        )
+        if len(competing) > 1:
+            assert final[0].properties.money == pytest.approx(competing[1])
+        # the Vickrey price never undercuts the winner's own bid
+        assert final[0].properties.money >= winner.properties.money - 1e-12
+
+    def test_unchallenged_winner_pays_own_bid(self, world):
+        telecom, network, sellers = world
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        protocol = VickreyAuctionProtocol()
+        result = protocol.solicit(network, "buyer", sellers, rfb)
+        # fabricate a request key with a single offer
+        only = [o for o in result.offers][:1]
+        final = protocol.settle_prices(only, [])
+        assert final[0].properties.money == only[0].properties.money
+
+
+class TestBargaining:
+    def test_more_messages_than_bidding(self, world):
+        telecom, network, sellers = world
+        competitive = {
+            node: SellerAgent(
+                telecom.catalog.local(node),
+                sellers[node].builder,
+                strategy=CompetitiveSellerStrategy(margin=0.5),
+            )
+            for node in sellers
+        }
+        query = telecom.manager_query()
+        low_reservation = {query.key(): 1e-6}
+
+        bid_net = Network(CostModel())
+        bidding = BiddingProtocol().solicit(
+            bid_net,
+            "buyer",
+            competitive,
+            RequestForBids("buyer", (query,), low_reservation),
+        )
+        barg_net = Network(CostModel())
+        bargaining = BargainingProtocol(max_rounds=3).solicit(
+            barg_net,
+            "buyer",
+            competitive,
+            RequestForBids("buyer", (query,), low_reservation),
+        )
+        assert barg_net.stats.messages > bid_net.stats.messages
+        # bargaining eventually extracts offers the one-shot round lost
+        assert len(bargaining.offers) >= len(bidding.offers)
+
+    def test_single_round_when_unreserved(self, world):
+        telecom, network, sellers = world
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        result = BargainingProtocol(max_rounds=3).solicit(
+            network, "buyer", sellers, rfb
+        )
+        # cooperative sellers satisfy round 1; no extra rounds
+        assert network.stats.count(MessageKind.RFB) == len(sellers)
+        assert result.offers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BargainingProtocol(max_rounds=0)
+        with pytest.raises(ValueError):
+            BargainingProtocol(concession=0.0)
+
+    def test_adaptive_sellers_learn_from_awards(self, world):
+        telecom, network, sellers = world
+        strategies = {
+            node: AdaptiveMarginStrategy(margin=0.4, step=0.25)
+            for node in sellers
+        }
+        adaptive = {
+            node: SellerAgent(
+                telecom.catalog.local(node),
+                sellers[node].builder,
+                strategy=strategies[node],
+            )
+            for node in sellers
+        }
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        protocol = BiddingProtocol()
+        result = protocol.solicit(network, "buyer", adaptive, rfb)
+        by_money = sorted(result.offers, key=lambda o: o.properties.money)
+        protocol.award(
+            network, "buyer", by_money[:1], by_money[1:], adaptive
+        )
+        winner = by_money[0].seller
+        assert strategies[winner].margin > 0.4
+        losers = {o.seller for o in by_money[1:]} - {winner}
+        assert all(strategies[n].margin < 0.4 for n in losers)

@@ -1,0 +1,143 @@
+"""Unit tests for relations, fragments, and partition schemes."""
+
+import pytest
+
+from repro.sql import (
+    Attribute,
+    Fragment,
+    PartitionScheme,
+    Relation,
+    RelationRef,
+    TRUE,
+    column,
+)
+from repro.sql.expr import eq
+
+
+class TestRelation:
+    def test_of_shorthand(self):
+        rel = Relation.of("r", "a", ("b", "float"), ("c", "str"))
+        assert rel.attribute("a").dtype == "int"
+        assert rel.attribute("b").dtype == "float"
+        assert rel.attribute("c").dtype == "str"
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            Relation.of("r", "a", "a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("r", ())
+
+    def test_unknown_attribute(self):
+        rel = Relation.of("r", "a")
+        with pytest.raises(KeyError):
+            rel.attribute("zzz")
+        assert not rel.has_attribute("zzz")
+
+    def test_bad_dtype(self):
+        with pytest.raises(ValueError):
+            Attribute("a", "decimal")
+
+
+class TestRelationRef:
+    def test_default_alias(self):
+        assert RelationRef.of("r").alias == "r"
+        assert RelationRef.of("r", "x").alias == "x"
+
+    def test_column_helper(self):
+        assert RelationRef.of("r", "x").column("a") == column("x", "a")
+
+
+class TestFragment:
+    def test_restriction_renamed(self):
+        frag = Fragment("customer", 0, eq(column("customer", "office"), "Corfu"))
+        restricted = frag.restriction_for("c")
+        assert restricted == eq(column("c", "office"), "Corfu")
+
+    def test_restriction_same_alias(self):
+        pred = eq(column("customer", "office"), "Corfu")
+        frag = Fragment("customer", 0, pred)
+        assert frag.restriction_for("customer") is pred
+
+
+class TestPartitionScheme:
+    def test_single(self):
+        scheme = PartitionScheme.single("r", 100)
+        assert len(scheme.fragments) == 1
+        assert scheme.fragments[0].predicate is TRUE
+        assert scheme.total_rows == 100
+
+    def test_by_list(self):
+        scheme = PartitionScheme.by_list(
+            "customer",
+            "office",
+            [["Athens"], ["Corfu", "Myconos"]],
+            [10, 20],
+        )
+        assert scheme.total_rows == 30
+        frag = scheme.fragment(1)
+        assert frag.predicate.evaluate(
+            {column("customer", "office"): "Corfu"}
+        )
+        assert not frag.predicate.evaluate(
+            {column("customer", "office"): "Athens"}
+        )
+
+    def test_by_list_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            PartitionScheme.by_list("r", "a", [[]])
+
+    def test_by_range_fragments_partition_domain(self):
+        scheme = PartitionScheme.by_range("r", "id", [100, 200])
+        col = column("r", "id")
+        # every value lands in exactly one fragment
+        for value in (0, 99, 100, 150, 199, 200, 5000):
+            hits = [
+                f.fragment_id
+                for f in scheme.fragments
+                if f.predicate.evaluate({col: value})
+            ]
+            assert len(hits) == 1
+
+    def test_by_range_requires_sorted_boundaries(self):
+        with pytest.raises(ValueError):
+            PartitionScheme.by_range("r", "id", [200, 100])
+
+    def test_by_range_requires_boundaries(self):
+        with pytest.raises(ValueError):
+            PartitionScheme.by_range("r", "id", [])
+
+    def test_unknown_fragment(self):
+        scheme = PartitionScheme.single("r")
+        with pytest.raises(KeyError):
+            scheme.fragment(5)
+
+    def test_restriction_for_all_fragments_is_true(self):
+        scheme = PartitionScheme.by_list("r", "a", [[1], [2], [3]])
+        assert scheme.restriction_for("x", [0, 1, 2]) is TRUE
+
+    def test_restriction_for_merges_in_lists(self):
+        scheme = PartitionScheme.by_list("r", "a", [[1], [2], [3]])
+        pred = scheme.restriction_for("x", [0, 2])
+        assert pred.evaluate({column("x", "a"): 1})
+        assert pred.evaluate({column("x", "a"): 3})
+        assert not pred.evaluate({column("x", "a"): 2})
+
+    def test_restriction_for_range_fragments(self):
+        scheme = PartitionScheme.by_range("r", "id", [10, 20])
+        pred = scheme.restriction_for("x", [0, 2])
+        col = column("x", "id")
+        assert pred.evaluate({col: 5})
+        assert pred.evaluate({col: 25})
+        assert not pred.evaluate({col: 15})
+
+    def test_restriction_for_empty_selection_rejected(self):
+        scheme = PartitionScheme.single("r")
+        with pytest.raises(ValueError):
+            scheme.restriction_for("x", [])
+
+    def test_duplicate_fragment_ids_rejected(self):
+        frag = Fragment("r", 0, TRUE)
+        with pytest.raises(ValueError):
+            PartitionScheme("r", None, (frag, frag))

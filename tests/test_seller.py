@@ -1,0 +1,237 @@
+"""Unit tests for the seller agent (partial query constructor, predicates
+analyser, pricing)."""
+
+import pytest
+
+from repro.cost import CardinalityEstimator, CostModel
+from repro.optimizer import PlanBuilder
+from repro.trading import (
+    CompetitiveSellerStrategy,
+    RequestForBids,
+    SellerAgent,
+)
+from repro.workload import build_telecom_scenario
+
+
+@pytest.fixture
+def world(telecom):
+    estimator = CardinalityEstimator(telecom.stats, telecom.catalog.schemas)
+    builder = PlanBuilder(
+        estimator, CostModel(), schemes=telecom.catalog.schemes
+    )
+    return telecom, builder
+
+
+def agent_for(telecom, builder, node, **kwargs):
+    return SellerAgent(telecom.catalog.local(node), builder, **kwargs)
+
+
+class TestOfferGeneration:
+    def test_full_and_partial_offers(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Myconos")
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, work = agent.prepare_offers(rfb)
+        assert work > 0
+        by_aliases = {frozenset(o.coverage) for o in offers}
+        # full 2-relation offer plus the single-relation partials
+        assert frozenset({"c", "i"}) in by_aliases
+        assert frozenset({"c"}) in by_aliases
+        assert frozenset({"i"}) in by_aliases
+
+    def test_full_offer_is_exact_aggregate(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Myconos")
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, _ = agent.prepare_offers(rfb)
+        full = [o for o in offers if o.aliases == frozenset({"c", "i"})]
+        assert any(o.exact_projections for o in full)
+
+    def test_offer_properties_complete(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Corfu")
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, _ = agent.prepare_offers(rfb)
+        for offer in offers:
+            assert offer.properties.total_time > 0
+            assert offer.properties.rows >= 0
+            assert offer.properties.first_row_time <= offer.properties.total_time
+            assert offer.request_key == telecom.manager_query().key()
+
+    def test_irrelevant_node_offers_only_what_it_has(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Athens")
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, _ = agent.prepare_offers(rfb)
+        # Athens customers are outside the IN-list: only invoice offers
+        assert offers
+        assert all(o.aliases == frozenset({"i"}) for o in offers)
+
+    def test_no_partials_mode(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Myconos", offer_partials=False)
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, _ = agent.prepare_offers(rfb)
+        assert all(o.aliases == frozenset({"c", "i"}) for o in offers)
+
+    def test_max_partial_size(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Myconos", max_partial_size=1)
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, _ = agent.prepare_offers(rfb)
+        assert all(len(o.aliases) <= 2 for o in offers)
+
+    def test_no_duplicate_offers(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Myconos")
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, _ = agent.prepare_offers(rfb)
+        keys = [
+            (
+                o.query.key(),
+                tuple(sorted((a, tuple(sorted(f))) for a, f in o.coverage.items())),
+                o.exact_projections,
+            )
+            for o in offers
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_multiple_queries_in_rfb(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Myconos")
+        q1 = telecom.manager_query()
+        q2 = telecom.manager_query(offices=("Corfu",))
+        rfb = RequestForBids("buyer", (q1, q2))
+        offers, _ = agent.prepare_offers(rfb)
+        keys = {o.request_key for o in offers}
+        assert keys == {q1.key(), q2.key()}
+
+
+class TestViewOffers:
+    def test_view_offer_cheaper_than_base(self):
+        telecom = build_telecom_scenario(
+            n_offices=4, customers_per_office=200, lines_per_customer=3,
+            with_views=True,
+        )
+        estimator = CardinalityEstimator(
+            telecom.stats, telecom.catalog.schemas
+        )
+        builder = PlanBuilder(
+            estimator, CostModel(), schemes=telecom.catalog.schemes
+        )
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        with_views = SellerAgent(
+            telecom.catalog.local("Myconos"), builder, use_views=True
+        )
+        without_views = SellerAgent(
+            telecom.catalog.local("Myconos"), builder, use_views=False
+        )
+        offers_v, _ = with_views.prepare_offers(rfb)
+        offers_n, _ = without_views.prepare_offers(rfb)
+        best_v = min(
+            o.properties.total_time
+            for o in offers_v
+            if o.exact_projections and o.aliases == frozenset({"c", "i"})
+        )
+        best_n = min(
+            o.properties.total_time
+            for o in offers_n
+            if o.exact_projections and o.aliases == frozenset({"c", "i"})
+        )
+        assert best_v < best_n
+
+    def test_view_offer_covers_whole_query(self):
+        telecom = build_telecom_scenario(
+            n_offices=3, customers_per_office=100, with_views=True
+        )
+        estimator = CardinalityEstimator(
+            telecom.stats, telecom.catalog.schemas
+        )
+        builder = PlanBuilder(
+            estimator, CostModel(), schemes=telecom.catalog.schemes
+        )
+        agent = SellerAgent(telecom.catalog.local("Corfu"), builder)
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, _ = agent.prepare_offers(rfb)
+        schemes = telecom.catalog.schemes
+        full = [
+            o
+            for o in offers
+            if o.exact_projections
+            and o.coverage.get("c") == schemes["customer"].fragment_ids
+        ]
+        assert full  # the view-based offer covers everything
+
+
+class TestPricing:
+    def test_competitive_agent_declines_low_reservations(self, world):
+        telecom, builder = world
+        agent = agent_for(
+            telecom,
+            builder,
+            "Myconos",
+            strategy=CompetitiveSellerStrategy(margin=0.2),
+        )
+        query = telecom.manager_query()
+        rfb = RequestForBids(
+            "buyer", (query,), reservations={query.key(): 1e-9}
+        )
+        offers, _ = agent.prepare_offers(rfb)
+        assert offers == []
+
+    def test_cooperative_money_equals_cost(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Myconos")
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, _ = agent.prepare_offers(rfb)
+        for offer in offers:
+            assert offer.properties.money == pytest.approx(offer.true_cost)
+
+
+class TestCapabilities:
+    def test_join_incapable_seller_offers_only_parts(self, world):
+        telecom, builder = world
+        agent = agent_for(telecom, builder, "Myconos", join_capable=False)
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        offers, _ = agent.prepare_offers(rfb)
+        assert offers
+        assert all(len(o.aliases) == 1 for o in offers)
+
+    def test_market_with_thin_nodes_still_answers(self, world):
+        """Even if every seller is join-incapable the buyer glues the
+        single-relation parts itself."""
+        from repro.net import Network
+        from repro.trading import BuyerPlanGenerator, QueryTrader
+
+        telecom, builder = world
+        network = Network(builder.cost_model)
+        sellers = {
+            node: agent_for(telecom, builder, node, join_capable=False)
+            for node in telecom.nodes
+        }
+        trader = QueryTrader(
+            "client", sellers, network,
+            BuyerPlanGenerator(builder, "client"),
+        )
+        result = trader.optimize(telecom.manager_query())
+        assert result.found
+
+
+class TestMessageSizing:
+    def test_offer_messages_sized_by_content(self, world):
+        from repro.net import Network
+        from repro.trading import BiddingProtocol
+
+        telecom, builder = world
+        network = Network(builder.cost_model)
+        sellers = {
+            node: agent_for(telecom, builder, node)
+            for node in telecom.nodes
+        }
+        rfb = RequestForBids("buyer", (telecom.manager_query(),))
+        BiddingProtocol().solicit(network, "buyer", sellers, rfb)
+        base = (
+            network.cost_model.network.control_message_bytes
+            * network.stats.messages
+        )
+        assert network.stats.bytes > base  # offers pay for their content

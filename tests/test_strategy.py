@@ -1,0 +1,114 @@
+"""Unit tests for buyer/seller strategies."""
+
+import pytest
+
+from repro.cost import NodeCapabilities
+from repro.trading import (
+    AdaptiveMarginStrategy,
+    AnswerProperties,
+    BuyerStrategy,
+    CompetitiveSellerStrategy,
+    CooperativeSellerStrategy,
+    SellerContext,
+)
+
+
+def ctx(reservation=None, load=0.0):
+    return SellerContext(
+        query_key="q",
+        reservation=reservation,
+        round_number=1,
+        caps=NodeCapabilities(load=load, price_per_second=1.0),
+    )
+
+
+PROPS = AnswerProperties(total_time=1.0, rows=10.0)
+
+
+class TestCooperative:
+    def test_truthful_price(self):
+        priced = CooperativeSellerStrategy().price(PROPS, 2.0, ctx())
+        assert priced.money == pytest.approx(2.0)
+
+    def test_never_declines(self):
+        priced = CooperativeSellerStrategy().price(
+            PROPS, 100.0, ctx(reservation=0.001)
+        )
+        assert priced is not None
+
+
+class TestCompetitive:
+    def test_margin_markup(self):
+        s = CompetitiveSellerStrategy(margin=0.5)
+        priced = s.price(PROPS, 2.0, ctx())
+        assert priced.money == pytest.approx(3.0)
+
+    def test_load_raises_price(self):
+        s = CompetitiveSellerStrategy(margin=0.0, load_coefficient=1.0)
+        idle = s.price(PROPS, 2.0, ctx(load=0.0))
+        busy = s.price(PROPS, 2.0, ctx(load=1.0))
+        assert busy.money > idle.money
+
+    def test_undercuts_reservation(self):
+        s = CompetitiveSellerStrategy(margin=1.0)
+        priced = s.price(PROPS, 2.0, ctx(reservation=3.0))
+        assert priced.money == pytest.approx(3.0 * s.undercut)
+
+    def test_declines_unprofitable(self):
+        s = CompetitiveSellerStrategy(margin=0.1)
+        assert s.price(PROPS, 5.0, ctx(reservation=1.0)) is None
+
+
+class TestAdaptiveMargin:
+    def test_margin_grows_on_win(self):
+        s = AdaptiveMarginStrategy(margin=0.2, step=0.5)
+        s.record_outcome("q", won=True)
+        assert s.margin == pytest.approx(0.3)
+
+    def test_margin_shrinks_on_loss(self):
+        s = AdaptiveMarginStrategy(margin=0.2, step=0.5)
+        s.record_outcome("q", won=False)
+        assert s.margin == pytest.approx(0.1)
+
+    def test_bounds_respected(self):
+        s = AdaptiveMarginStrategy(
+            margin=0.9, step=0.5, min_margin=0.05, max_margin=1.0
+        )
+        for _ in range(10):
+            s.record_outcome("q", won=True)
+        assert s.margin <= 1.0
+        for _ in range(30):
+            s.record_outcome("q", won=False)
+        assert s.margin >= 0.05
+
+    def test_converges_downward_under_competition(self):
+        """Repeated losses drive the price toward cost."""
+        s = AdaptiveMarginStrategy(margin=0.5, step=0.2)
+        first = s.price(PROPS, 1.0, ctx()).money
+        for _ in range(20):
+            s.record_outcome("q", won=False)
+        later = s.price(PROPS, 1.0, ctx()).money
+        assert later < first
+
+
+class TestBuyerStrategy:
+    def test_reservation_fraction(self):
+        s = BuyerStrategy(pressure=0.8)
+        assert s.reservation(10.0) == pytest.approx(8.0)
+
+    def test_no_estimate_no_reservation(self):
+        assert BuyerStrategy().reservation(None) is None
+
+    def test_initial_value_used(self):
+        s = BuyerStrategy(initial_value=5.0)
+        assert s.reservation(None) == 5.0
+
+    def test_silent_buyer(self):
+        s = BuyerStrategy(announce=False)
+        assert s.reservation(10.0) is None
+
+    def test_accepts_band(self):
+        s = BuyerStrategy()
+        assert s.accepts(10.0, None)
+        assert s.accepts(10.0, 8.0)
+        assert not s.accepts(100.0, 8.0)

@@ -1,0 +1,166 @@
+"""Unit/integration tests for subcontracting and adaptive re-trading."""
+
+import pytest
+
+from repro.bench.experiments import build_split_federation_world
+from repro.execution import FederationData, PlanExecutor, evaluate_query
+from repro.net import MessageKind, Network
+from repro.trading import (
+    BuyerPlanGenerator,
+    QueryTrader,
+    RequestForBids,
+    SellerAgent,
+    Subcontractor,
+)
+from repro.workload import chain_query
+
+
+@pytest.fixture(scope="module")
+def split_world():
+    return build_split_federation_world(n_relations=2, fragments=4,
+                                        rows=2_000)
+
+
+def build_sellers(world, network, subcontracting):
+    sellers = {}
+    for node in world.nodes:
+        if node == "client":
+            continue
+        sub = Subcontractor(network=network) if subcontracting else None
+        sellers[node] = SellerAgent(
+            world.catalog.local(node), world.builder, subcontractor=sub
+        )
+    if subcontracting:
+        for node, agent in sellers.items():
+            agent.subcontractor.connect(
+                {m: a for m, a in sellers.items() if m != node}, network
+            )
+    return sellers
+
+
+class TestSubcontractor:
+    def test_no_peers_no_offers(self, split_world):
+        world = split_world
+        agent = SellerAgent(
+            world.catalog.local("n0_0"), world.builder,
+            subcontractor=Subcontractor(),
+        )
+        offers, _ = agent.prepare_offers(
+            RequestForBids("client", (chain_query(2),))
+        )
+        # only its own single-relation offers
+        assert all(o.aliases == frozenset({"r0"}) for o in offers)
+
+    def test_combined_offers_cover_dropped_relations(self, split_world):
+        world = split_world
+        network = Network(world.model)
+        sellers = build_sellers(world, network, subcontracting=True)
+        offers, _ = sellers["n1_0"].prepare_offers(
+            RequestForBids("client", (chain_query(2),))
+        )
+        combined = [o for o in offers if o.aliases == frozenset({"r0", "r1"})]
+        assert combined
+        # the purchased relation is fully covered
+        full = world.catalog.scheme("R0").fragment_ids
+        assert all(o.coverage["r0"] == full for o in combined)
+
+    def test_nested_traffic_accounted(self, split_world):
+        world = split_world
+        network = Network(world.model)
+        sellers = build_sellers(world, network, subcontracting=True)
+        before = network.stats.messages
+        sellers["n1_0"].prepare_offers(
+            RequestForBids("client", (chain_query(2),))
+        )
+        assert network.stats.messages > before
+        assert network.stats.count(MessageKind.RFB) > 0
+
+    def test_recursion_bounded_to_one_level(self, split_world):
+        world = split_world
+        network = Network(world.model)
+        sellers = build_sellers(world, network, subcontracting=True)
+        sellers["n1_0"].prepare_offers(
+            RequestForBids("client", (chain_query(2),))
+        )
+        # peers keep their subcontractors after being consulted
+        assert all(a.subcontractor is not None for a in sellers.values())
+
+    def test_purchase_cost_included_in_price(self, split_world):
+        world = split_world
+        network = Network(world.model)
+        sellers = build_sellers(world, network, subcontracting=True)
+        offers, _ = sellers["n1_0"].prepare_offers(
+            RequestForBids("client", (chain_query(2),))
+        )
+        combined = [o for o in offers if o.aliases == frozenset({"r0", "r1"})]
+        for offer in combined:
+            assert offer.properties.money > offer.true_cost * 0.5
+
+    def test_improves_plans_in_split_federation(self, split_world):
+        world = split_world
+        query = chain_query(2, selection_cat=3)
+        costs = {}
+        for subcontracting in (False, True):
+            network = Network(world.model)
+            sellers = build_sellers(world, network, subcontracting)
+            trader = QueryTrader(
+                "client", sellers, network,
+                BuyerPlanGenerator(world.builder, "client"),
+            )
+            result = trader.optimize(query)
+            assert result.found
+            costs[subcontracting] = result.plan_cost
+        assert costs[True] < costs[False]
+
+    def test_subcontracted_plan_is_correct(self, split_world):
+        world = split_world
+        query = chain_query(2, selection_cat=3)
+        network = Network(world.model)
+        sellers = build_sellers(world, network, subcontracting=True)
+        trader = QueryTrader(
+            "client", sellers, network,
+            BuyerPlanGenerator(world.builder, "client"),
+        )
+        result = trader.optimize(query)
+        data = FederationData.build(world.catalog, seed=3)
+        got = PlanExecutor(data, query).run(result.best.plan)
+        assert got.equals_unordered(evaluate_query(query, data))
+
+
+class TestAdaptiveRetrade:
+    def test_failed_sellers_excluded(self):
+        """With replicated fragments, losing a contracted seller is
+        recoverable: the re-trade buys from surviving replica holders."""
+        from repro.bench import build_world
+
+        world = build_world(nodes=8, n_relations=2, rows=2_000,
+                            fragments=4, replicas=2, seed=5)
+        query = chain_query(2, selection_cat=3)
+        network = Network(world.model)
+        sellers = world.seller_agents()
+        trader = QueryTrader(
+            "client", sellers, network,
+            BuyerPlanGenerator(world.builder, "client"),
+        )
+        first = trader.optimize(query)
+        assert first.found
+        failed = {first.contracts[0].seller}
+        retraded = trader.retrade_after_failure(query, failed)
+        assert retraded.found
+        assert not failed & {c.seller for c in retraded.contracts}
+        # the original market is restored afterwards
+        assert set(trader.sellers) == set(sellers)
+
+    def test_retrade_without_alternatives_fails(self, split_world):
+        """Fragments without replicas: losing the only holder of a
+        fragment makes the query unanswerable."""
+        world = split_world
+        query = chain_query(2, selection_cat=3)
+        network = Network(world.model)
+        sellers = build_sellers(world, network, subcontracting=False)
+        trader = QueryTrader(
+            "client", sellers, network,
+            BuyerPlanGenerator(world.builder, "client"),
+        )
+        result = trader.retrade_after_failure(query, {"n0_0"})
+        assert not result.found

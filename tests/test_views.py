@@ -1,0 +1,224 @@
+"""Unit tests for materialized-view matching (Section 3.5)."""
+
+import pytest
+
+from repro.sql import (
+    Aggregate,
+    RelationRef,
+    SPJQuery,
+    Star,
+    column,
+    conjoin,
+    eq,
+    in_list,
+)
+from repro.sql.expr import TRUE, ge
+from repro.sql.views import MaterializedView, match_view
+
+
+@pytest.fixture
+def charges_view():
+    """The paper's §3.5 example view: charges per (office, custid)."""
+    return MaterializedView(
+        "v_charges",
+        SPJQuery(
+            relations=(
+                RelationRef.of("customer", "c"),
+                RelationRef.of("invoiceline", "i"),
+            ),
+            predicate=eq(column("c", "custid"), column("i", "custid")),
+            projections=(
+                column("c", "office"),
+                column("i", "custid"),
+                Aggregate("sum", column("i", "charge"), "charge_sum"),
+            ),
+            group_by=(column("c", "office"), column("i", "custid")),
+        ),
+        row_count=1000,
+    )
+
+
+def manager_query():
+    return SPJQuery(
+        relations=(
+            RelationRef.of("customer", "c"),
+            RelationRef.of("invoiceline", "i"),
+        ),
+        predicate=conjoin(
+            [
+                eq(column("c", "custid"), column("i", "custid")),
+                in_list(column("c", "office"), ("Corfu", "Myconos")),
+            ]
+        ),
+        projections=(
+            column("c", "office"),
+            Aggregate("sum", column("i", "charge"), "total"),
+        ),
+        group_by=(column("c", "office"),),
+    )
+
+
+class TestRollupMatch:
+    def test_paper_example_rolls_up(self, charges_view, telecom_schemas):
+        """The manager's per-office SUM is coarser than the view's
+        (office, custid) grouping — the view answers it via rollup."""
+        match = match_view(manager_query(), charges_view, telecom_schemas)
+        assert match is not None
+        assert match.needs_rollup
+        # residual: the office IN-list, applicable on a grouping column
+        assert match.residual is not TRUE
+
+    def test_exact_grouping_no_rollup(self, charges_view, telecom_schemas):
+        query = SPJQuery(
+            relations=charges_view.query.relations,
+            predicate=charges_view.query.predicate,
+            projections=(
+                column("c", "office"),
+                column("i", "custid"),
+                Aggregate("sum", column("i", "charge"), "s"),
+            ),
+            group_by=(column("c", "office"), column("i", "custid")),
+        )
+        match = match_view(query, charges_view, telecom_schemas)
+        assert match is not None
+        assert not match.needs_rollup
+        assert match.residual is TRUE
+
+    def test_finer_query_grouping_rejected(self, charges_view, telecom_schemas):
+        """A query grouping on a column NOT in the view's grouping cannot
+        be answered."""
+        query = SPJQuery(
+            relations=charges_view.query.relations,
+            predicate=charges_view.query.predicate,
+            projections=(
+                column("c", "custname"),
+                Aggregate("sum", column("i", "charge"), "s"),
+            ),
+            group_by=(column("c", "custname"),),
+        )
+        assert match_view(query, charges_view, telecom_schemas) is None
+
+    def test_avg_rollup_rejected(self, charges_view, telecom_schemas):
+        base = manager_query()
+        query = SPJQuery(
+            relations=base.relations,
+            predicate=base.predicate,
+            projections=(
+                column("c", "office"),
+                Aggregate("avg", column("i", "charge"), "a"),
+            ),
+            group_by=base.group_by,
+        )
+        assert match_view(query, charges_view, telecom_schemas) is None
+
+    def test_missing_aggregate_rejected(self, charges_view, telecom_schemas):
+        base = manager_query()
+        query = SPJQuery(
+            relations=base.relations,
+            predicate=base.predicate,
+            projections=(
+                column("c", "office"),
+                Aggregate("max", column("i", "charge"), "m"),
+            ),
+            group_by=base.group_by,
+        )
+        assert match_view(query, charges_view, telecom_schemas) is None
+
+    def test_residual_on_non_grouping_column_rejected(
+        self, charges_view, telecom_schemas
+    ):
+        base = manager_query()
+        query = base.restrict(ge(column("i", "charge"), 5))
+        assert match_view(query, charges_view, telecom_schemas) is None
+
+
+class TestSPJMatch:
+    def test_filter_match(self, telecom_schemas):
+        view = MaterializedView(
+            "v_customers",
+            SPJQuery(relations=(RelationRef.of("customer", "c"),)),
+            row_count=100,
+        )
+        query = SPJQuery(
+            relations=(RelationRef.of("customer", "x"),),
+            predicate=eq(column("x", "office"), "Corfu"),
+        )
+        match = match_view(query, view, telecom_schemas)
+        assert match is not None
+        assert not match.needs_rollup
+        assert match.residual is not TRUE
+
+    def test_view_missing_rows_rejected(self, telecom_schemas):
+        view = MaterializedView(
+            "v_corfu",
+            SPJQuery(
+                relations=(RelationRef.of("customer", "c"),),
+                predicate=eq(column("c", "office"), "Corfu"),
+            ),
+            row_count=100,
+        )
+        query = SPJQuery(relations=(RelationRef.of("customer", "x"),))
+        assert match_view(query, view, telecom_schemas) is None
+
+    def test_view_subset_predicate_accepted(self, telecom_schemas):
+        view = MaterializedView(
+            "v_islands",
+            SPJQuery(
+                relations=(RelationRef.of("customer", "c"),),
+                predicate=in_list(
+                    column("c", "office"), ("Corfu", "Myconos")
+                ),
+            ),
+            row_count=100,
+        )
+        query = SPJQuery(
+            relations=(RelationRef.of("customer", "x"),),
+            predicate=eq(column("x", "office"), "Corfu"),
+        )
+        match = match_view(query, view, telecom_schemas)
+        assert match is not None
+
+    def test_relation_mismatch_rejected(self, telecom_schemas):
+        view = MaterializedView(
+            "v",
+            SPJQuery(relations=(RelationRef.of("invoiceline", "i"),)),
+            row_count=10,
+        )
+        query = SPJQuery(relations=(RelationRef.of("customer", "c"),))
+        assert match_view(query, view, telecom_schemas) is None
+
+    def test_projection_columns_must_be_exposed(self, telecom_schemas):
+        view = MaterializedView(
+            "v_names",
+            SPJQuery(
+                relations=(RelationRef.of("customer", "c"),),
+                projections=(column("c", "custid"),),
+            ),
+            row_count=10,
+        )
+        query = SPJQuery(
+            relations=(RelationRef.of("customer", "x"),),
+            projections=(column("x", "office"),),
+        )
+        assert match_view(query, view, telecom_schemas) is None
+
+    def test_aggregate_query_over_plain_view(self, telecom_schemas):
+        view = MaterializedView(
+            "v_all",
+            SPJQuery(relations=(RelationRef.of("invoiceline", "i"),)),
+            row_count=10,
+        )
+        query = SPJQuery(
+            relations=(RelationRef.of("invoiceline", "x"),),
+            projections=(Aggregate("sum", column("x", "charge"), "s"),),
+        )
+        match = match_view(query, view, telecom_schemas)
+        assert match is not None and not match.needs_rollup
+
+    def test_negative_row_count_rejected(self):
+        with pytest.raises(ValueError):
+            MaterializedView(
+                "v",
+                SPJQuery(relations=(RelationRef.of("customer", "c"),)),
+                row_count=-1,
+            )

@@ -1,0 +1,137 @@
+"""Unit tests for workload generation and the telecom scenario."""
+
+import pytest
+
+from repro.sql import Aggregate, column
+from repro.workload import (
+    WorkloadConfig,
+    build_telecom_scenario,
+    chain_query,
+    generate_workload,
+    star_query,
+)
+
+
+class TestChainQuery:
+    def test_structure(self):
+        q = chain_query(4)
+        assert len(q.relations) == 4
+        assert len(q.join_conjuncts()) == 3
+
+    def test_selection(self):
+        q = chain_query(2, selection_cat=5)
+        assert q.selection_on("r0").sql() == "r0.cat = 5"
+
+    def test_aggregate_shape(self):
+        q = chain_query(2, aggregate=True)
+        assert q.has_aggregates
+        assert q.group_by == (column("r0", "part"),)
+
+    def test_relation_offset(self):
+        q = chain_query(2, relation_offset=3)
+        assert {r.name for r in q.relations} == {"R3", "R4"}
+
+    def test_single_relation(self):
+        q = chain_query(1)
+        assert not q.join_conjuncts()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chain_query(0)
+
+
+class TestStarQuery:
+    def test_structure(self):
+        q = star_query(3)
+        assert len(q.relations) == 4
+        joins = q.join_conjuncts()
+        assert len(joins) == 3
+        # every join touches the hub
+        assert all("r0" in j.tables() for j in joins)
+
+    def test_many_satellites_reuse_keys(self):
+        q = star_query(5)
+        assert len(q.relations) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            star_query(0)
+
+
+class TestGenerateWorkload:
+    def test_deterministic(self):
+        config = WorkloadConfig(queries=6, seed=3)
+        w1 = [q.key() for q in generate_workload(config)]
+        w2 = [q.key() for q in generate_workload(config)]
+        assert w1 == w2
+
+    def test_count_and_bounds(self):
+        config = WorkloadConfig(
+            queries=10, min_relations=2, max_relations=4, seed=1
+        )
+        workload = generate_workload(config)
+        assert len(workload) == 10
+        assert all(2 <= len(q.relations) <= 4 for q in workload)
+
+    def test_mix_contains_aggregates(self):
+        config = WorkloadConfig(
+            queries=30, aggregate_probability=0.5, seed=2
+        )
+        workload = generate_workload(config)
+        assert any(q.has_aggregates for q in workload)
+        assert any(not q.has_aggregates for q in workload)
+
+
+class TestTelecomScenario:
+    def test_default_shape(self):
+        scenario = build_telecom_scenario(n_offices=3,
+                                          customers_per_office=50)
+        assert len(scenario.offices) == 3
+        assert scenario.catalog.total_rows("customer") == 150
+        # invoiceline replicated whole at every office
+        assert scenario.catalog.holders("invoiceline", 0) == frozenset(
+            scenario.offices
+        )
+
+    def test_colocated_placement(self):
+        scenario = build_telecom_scenario(
+            n_offices=3, customers_per_office=50,
+            invoice_placement="colocated",
+        )
+        for i, office in enumerate(scenario.offices):
+            assert scenario.catalog.holders("invoiceline", i) == frozenset(
+                {office}
+            )
+
+    def test_views_added(self):
+        scenario = build_telecom_scenario(
+            n_offices=2, customers_per_office=10, with_views=True
+        )
+        for office in scenario.offices:
+            views = scenario.catalog.views_at(office)
+            assert len(views) == 1
+            assert views[0].query.has_aggregates
+
+    def test_invalid_placement(self):
+        with pytest.raises(ValueError):
+            build_telecom_scenario(invoice_placement="everywhere")
+
+    def test_manager_query_shape(self):
+        scenario = build_telecom_scenario(n_offices=2,
+                                          customers_per_office=10)
+        q = scenario.manager_query(offices=("Corfu",))
+        assert q.group_by == (column("c", "office"),)
+        assert any(
+            isinstance(p, Aggregate) and p.func == "sum"
+            for p in q.projections
+        )
+
+    def test_many_offices_get_names(self):
+        scenario = build_telecom_scenario(n_offices=10,
+                                          customers_per_office=5)
+        assert "Office9" in scenario.offices
+
+    def test_row_factories_cover_relations(self):
+        scenario = build_telecom_scenario(n_offices=2,
+                                          customers_per_office=10)
+        assert set(scenario.row_factories) == {"customer", "invoiceline"}
