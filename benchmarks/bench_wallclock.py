@@ -1,0 +1,137 @@
+"""Wall-clock benchmark: bitmask enumeration core vs the frozenset code.
+
+Times the seller-side System-R DP (4–10 joins) and the buyer plan
+generator against the reference (pre-rewire) implementations kept in
+:mod:`repro.optimizer.reference`, asserting the plans are identical
+before trusting the numbers.  Writes ``BENCH_enumeration.json`` at the
+repository root.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.bench.harness import build_world
+from repro.optimizer.dp import DynamicProgrammingOptimizer
+from repro.optimizer.reference import (
+    ReferenceDynamicProgrammingOptimizer,
+    reference_buyer_generate,
+)
+from repro.trading import BuyerPlanGenerator, RequestForBids, SellerAgent
+from repro.workload import chain_query
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_enumeration.json"
+REPEATS = 5
+
+
+def best_of_pair(fn_a, fn_b, repeats: int = REPEATS):
+    """Best wall-clock of *repeats* runs each, interleaved.
+
+    Alternating the two implementations per repeat keeps allocator and
+    CPU-cache warmth from favoring whichever runs second.
+    """
+    best_a = best_b = float("inf")
+    result_a = result_b = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result_a = fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        result_b = fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, result_a, best_b, result_b
+
+
+def bench_seller_dp(world) -> list[dict]:
+    site = next(n for n in world.nodes if n != "client")
+    new = DynamicProgrammingOptimizer(world.builder)
+    ref = ReferenceDynamicProgrammingOptimizer(world.builder)
+    rows = []
+    for joins in range(4, 11):
+        query = chain_query(joins + 1)
+        new_s, new_result, seed_s, ref_result = best_of_pair(
+            lambda: new.optimize(query, site),
+            lambda: ref.optimize(query, site),
+        )
+        assert new_result.plan.explain() == ref_result.plan.explain()
+        assert new_result.enumerated == ref_result.enumerated
+        rows.append(
+            {
+                "case": f"seller-dp-{joins}-joins",
+                "joins": joins,
+                "enumerated": new_result.enumerated,
+                "seed_s": seed_s,
+                "new_s": new_s,
+                "speedup": seed_s / new_s,
+            }
+        )
+    return rows
+
+
+def bench_buyer_plangen(world, joins: int = 5) -> dict:
+    query = chain_query(joins + 1)
+    rfb = RequestForBids(buyer="client", queries=(query,), round_number=1)
+    offers = []
+    for node in world.nodes:
+        if node == "client":
+            continue
+        agent = SellerAgent(world.catalog.local(node), world.builder)
+        node_offers, _work = agent.prepare_offers(rfb)
+        offers.extend(node_offers)
+    generator = BuyerPlanGenerator(world.builder, "client", mode="dp")
+    new_s, new_result, seed_s, ref_result = best_of_pair(
+        lambda: generator.generate(query, offers),
+        lambda: reference_buyer_generate(generator, query, offers),
+    )
+    assert new_result.enumerated == ref_result.enumerated
+    assert (new_result.best is None) == (ref_result.best is None)
+    if new_result.best is not None:
+        assert new_result.best.plan.explain() == ref_result.best.plan.explain()
+    return {
+        "case": f"buyer-plangen-{joins}-joins",
+        "joins": joins,
+        "offers": len(offers),
+        "enumerated": new_result.enumerated,
+        "seed_s": seed_s,
+        "new_s": new_s,
+        "speedup": seed_s / new_s,
+    }
+
+
+def main() -> None:
+    world = build_world(nodes=8, n_relations=11)
+    cases = bench_seller_dp(world)
+    cases.append(bench_buyer_plangen(world))
+    eight_join = next(c for c in cases if c["case"] == "seller-dp-8-joins")
+    payload = {
+        "description": (
+            "Wall-clock comparison: bitmask JoinGraph enumeration vs the "
+            "reference frozenset implementation (plans asserted identical)."
+        ),
+        "repeats_best_of": REPEATS,
+        "cases": cases,
+        "eight_join_speedup": eight_join["speedup"],
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    for case in cases:
+        print(
+            f"{case['case']:>24}: seed {case['seed_s'] * 1e3:8.2f} ms  "
+            f"new {case['new_s'] * 1e3:8.2f} ms  "
+            f"speedup {case['speedup']:5.1f}x"
+        )
+    print(f"wrote {OUTPUT}")
+    if eight_join["speedup"] < 3.0:
+        raise SystemExit(
+            f"8-join speedup {eight_join['speedup']:.2f}x below the 3x target"
+        )
+
+
+if __name__ == "__main__":
+    main()

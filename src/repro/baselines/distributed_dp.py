@@ -22,14 +22,13 @@ timeline via the enumerated-plan count, like every optimizer here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import combinations
 from typing import Mapping, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.net.messages import Message, MessageKind
 from repro.net.simulator import Network, NetworkStats
-from repro.optimizer.dp import connecting_conjuncts, subset_connected
 from repro.optimizer.greedy import greedy_join
+from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plans import Plan, PlanBuilder
 from repro.sql.expr import TRUE, conjoin, implies, restriction_overlaps
 from repro.sql.query import Aggregate, SPJQuery
@@ -147,27 +146,23 @@ class DistributedDPOptimizer:
         self.prune_level(1, best)
 
         # Levels 2..n (cross-product avoidance: disconnected subsets of a
-        # connected query are never needed).
-        n = len(aliases)
-        query_connected = subset_connected(frozenset(aliases), conjuncts)
+        # connected query are never enumerated).
+        graph = JoinGraph(aliases, conjuncts)
+        n = graph.n
+        query_connected = graph.is_connected
+        by_size = graph.subsets_by_size(connected_only=query_connected)
         for size in range(2, n + 1):
-            for combo in combinations(aliases, size):
-                subset = frozenset(combo)
-                if query_connected and not subset_connected(subset, conjuncts):
-                    continue
-                anchor = min(subset)
-                splits = []
-                for split_size in range(1, size // 2 + 1):
-                    for left_combo in combinations(sorted(subset), split_size):
-                        left = frozenset(left_combo)
-                        right = subset - left
-                        if size == 2 * split_size and anchor not in left:
-                            continue
-                        splits.append((left, right))
+            for mask in by_size[size]:
+                subset = graph.aliases_of(mask)
+                splits = [
+                    (graph.connecting(left, right),
+                     graph.aliases_of(left),
+                     graph.aliases_of(right))
+                    for left, right in graph.splits(mask)
+                ]
                 for connected_pass in (True, False):
                     found_any = False
-                    for left, right in splits:
-                        connecting = connecting_conjuncts(conjuncts, left, right)
+                    for connecting, left, right in splits:
                         if bool(connecting) != connected_pass:
                             continue
                         for site in sites:

@@ -36,6 +36,7 @@ from repro.trading import (
     BuyerPlanGenerator,
     BuyerStrategy,
     NegotiationProtocol,
+    OfferCache,
     QueryTrader,
     SellerAgent,
     SellerStrategy,
@@ -63,13 +64,23 @@ class World:
     nodes: list[str]
     builder: PlanBuilder
     model: CostModel
+    offer_cache: OfferCache | None = None
 
     def seller_agents(
         self,
         strategy_factory: Callable[[str], SellerStrategy] | None = None,
         **agent_kwargs,
     ) -> dict[str, SellerAgent]:
+        """Fresh agents per run, sharing the world's offer cache.
+
+        Sharing one cache across runs over the same world is what makes
+        repeated-trade experiments benefit from prior pricing work; pass
+        ``offer_cache=...`` (or ``use_offer_cache=False``) explicitly to
+        override.
+        """
         agents: dict[str, SellerAgent] = {}
+        if "offer_cache" not in agent_kwargs:
+            agent_kwargs = {**agent_kwargs, "offer_cache": self.offer_cache}
         for node in self.nodes:
             if node == BUYER:
                 continue
@@ -107,7 +118,13 @@ def build_world(
     builder = PlanBuilder(
         estimator, model, capabilities=capabilities, schemes=catalog.schemes
     )
-    return World(catalog=catalog, nodes=node_list, builder=builder, model=model)
+    return World(
+        catalog=catalog,
+        nodes=node_list,
+        builder=builder,
+        model=model,
+        offer_cache=OfferCache(),
+    )
 
 
 @dataclass
@@ -122,6 +139,8 @@ class Measurement:
     iterations: int = 1
     offers: int = 0
     payments: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def row(self) -> list:
         return [
@@ -180,6 +199,8 @@ def run_qt(
         iterations=result.iterations,
         offers=result.offers_considered,
         payments=result.total_payment,
+        cache_hits=result.cache.hits,
+        cache_misses=result.cache.misses,
     )
 
 

@@ -31,7 +31,7 @@ class MessageKind(Enum):
     DATA = "data"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One network message.
 

@@ -45,15 +45,20 @@ class Simulator:
         self.schedule(max(0.0, when - self.now), fn)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
-        """Process events in time order until the queue drains."""
+        """Process events in time order until the queue drains.
+
+        Raises ``RuntimeError`` once *max_events* events have been
+        processed and more remain — the budget is checked before each
+        handler runs, so at most ``max_events`` handlers ever execute.
+        """
         processed = 0
         while self._queue:
+            if processed >= max_events:
+                raise RuntimeError("simulation did not quiesce")
             when, _seq, fn = heapq.heappop(self._queue)
             self.now = max(self.now, when)
             fn()
             processed += 1
-            if processed > max_events:
-                raise RuntimeError("simulation did not quiesce")
         return self.now
 
     @property

@@ -23,8 +23,10 @@ from repro.optimizer.plans import (
 from repro.optimizer.dp import DPResult, DynamicProgrammingOptimizer
 from repro.optimizer.idp import IDPOptimizer
 from repro.optimizer.greedy import GreedyOptimizer
+from repro.optimizer.joingraph import JoinGraph
 
 __all__ = [
+    "JoinGraph",
     "FragmentScan",
     "GroupAgg",
     "HashJoin",

@@ -14,14 +14,19 @@ is how the experiments measure optimization cost deterministically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import combinations
 from typing import Iterable, Mapping, Sequence
 
+from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plans import Plan, PlanBuilder
 from repro.sql.expr import Expr, TRUE, conjoin, implies
 from repro.sql.query import Aggregate, SPJQuery
 
-__all__ = ["DPResult", "DynamicProgrammingOptimizer", "connecting_conjuncts"]
+__all__ = [
+    "DPResult",
+    "DynamicProgrammingOptimizer",
+    "connecting_conjuncts",
+    "subset_connected",
+]
 
 
 @dataclass
@@ -44,6 +49,7 @@ class DPResult:
     plan: Plan | None
     best: dict[frozenset[str], Plan] = field(default_factory=dict)
     enumerated: int = 0
+    graph: JoinGraph | None = None
 
 
 def subset_connected(
@@ -54,6 +60,9 @@ def subset_connected(
     For a connected query, dynamic programming never needs disconnected
     intermediate results (the classic cross-product-avoidance rule), so
     optimizers skip such subsets entirely.
+
+    Reference implementation: hot paths use the memoized
+    :meth:`repro.optimizer.joingraph.JoinGraph.connected` instead.
     """
     if len(subset) <= 1:
         return True
@@ -84,7 +93,11 @@ def connecting_conjuncts(
     left: frozenset[str],
     right: frozenset[str],
 ) -> tuple[Expr, ...]:
-    """Predicate conjuncts joining *left* aliases with *right* aliases."""
+    """Predicate conjuncts joining *left* aliases with *right* aliases.
+
+    Reference implementation: hot paths use the memoized
+    :meth:`repro.optimizer.joingraph.JoinGraph.connecting` instead.
+    """
     combined = left | right
     out = []
     for conjunct in conjuncts:
@@ -116,9 +129,13 @@ class DynamicProgrammingOptimizer:
 
     # -- hooks for subclasses (IDP) ---------------------------------------
     def prune_level(
-        self, level: int, best: dict[frozenset[str], Plan]
+        self, level: int, best: dict[int, Plan], graph: JoinGraph
     ) -> None:
-        """Called after each DP level completes; plain DP keeps everything."""
+        """Called after each DP level completes; plain DP keeps everything.
+
+        *best* is keyed by alias-subset bitmask (see :class:`JoinGraph`);
+        deleting entries here prunes them from the search.
+        """
 
     # ------------------------------------------------------------------
     def optimize(
@@ -147,11 +164,12 @@ class DynamicProgrammingOptimizer:
             )
         alias_to_relation = {r.alias: r.name for r in query.relations}
         conjuncts = query.predicate.conjuncts()
-        best: dict[frozenset[str], Plan] = {}
+        graph = JoinGraph(aliases, conjuncts)
+        best: dict[int, Plan] = {}
         enumerated = 0
 
-        # Level 1: fragment scans.
-        for alias in aliases:
+        # Level 1: fragment scans (bit i <-> i-th alias in sorted order).
+        for i, alias in enumerate(graph.aliases):
             ref = query.relation_for(alias)
             scheme = self.builder.schemes[ref.name]
             fragment_ids = (
@@ -172,42 +190,31 @@ class DynamicProgrammingOptimizer:
                 site,
                 alias_to_relation,
             )
-            best[frozenset((alias,))] = plan
+            best[1 << i] = plan
             enumerated += 1
 
-        # Levels 2..n: best join per subset.  For connected queries,
-        # disconnected subsets are skipped outright (cross-product
-        # avoidance); cross-product splits are only materialized when no
-        # connected split exists (second pass).
-        n = len(aliases)
-        query_connected = subset_connected(frozenset(aliases), conjuncts)
+        # Levels 2..n: best join per subset.  For connected queries, only
+        # connected subsets are ever enumerated (cross-product avoidance);
+        # cross-product splits are only materialized when no connected
+        # split exists (second pass).
+        n = graph.n
+        query_connected = graph.is_connected
+        by_size = graph.subsets_by_size(connected_only=query_connected)
+        builder_join = self.builder.join
         for size in range(2, n + 1):
-            for combo in combinations(aliases, size):
-                subset = frozenset(combo)
-                if query_connected and not subset_connected(subset, conjuncts):
-                    continue
-                members = sorted(subset)
-                anchor = members[0]
-                splits: list[tuple[frozenset[str], frozenset[str]]] = []
-                for split_size in range(1, size // 2 + 1):
-                    for left_combo in combinations(members, split_size):
-                        left = frozenset(left_combo)
-                        right = subset - left
-                        # Halve symmetric splits (anchor stays left) when
-                        # both sides are the same size.
-                        if size == 2 * split_size and anchor not in left:
-                            continue
-                        if left in best and right in best:
-                            splits.append((left, right))
+            for mask in by_size[size]:
+                splits = [
+                    (left, right)
+                    for left, right in graph.splits(mask)
+                    if left in best and right in best
+                ]
                 candidates: list[Plan] = []
                 for connected_pass in (True, False):
                     for left, right in splits:
-                        connecting = connecting_conjuncts(
-                            conjuncts, left, right
-                        )
+                        connecting = graph.connecting(left, right)
                         if bool(connecting) != connected_pass:
                             continue
-                        joined = self.builder.join(
+                        joined = builder_join(
                             best[left],
                             best[right],
                             connecting,
@@ -219,12 +226,17 @@ class DynamicProgrammingOptimizer:
                     if candidates:
                         break
                 if candidates:
-                    best[subset] = min(candidates, key=_plan_cost)
-            self.prune_level(size, best)
+                    best[mask] = min(candidates, key=_plan_cost)
+            self.prune_level(size, best, graph)
 
-        full = best.get(frozenset(aliases))
+        full = best.get(graph.full_mask)
+        best_by_subset = {
+            graph.aliases_of(mask): plan for mask, plan in best.items()
+        }
         plan = self._finish(query, full, alias_to_relation) if finish else full
-        return DPResult(plan=plan, best=best, enumerated=enumerated)
+        return DPResult(
+            plan=plan, best=best_by_subset, enumerated=enumerated, graph=graph
+        )
 
     # ------------------------------------------------------------------
     def _finish(

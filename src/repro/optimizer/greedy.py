@@ -12,9 +12,9 @@ from typing import Mapping, Sequence
 from repro.optimizer.dp import (
     DPResult,
     DynamicProgrammingOptimizer,
-    connecting_conjuncts,
     _plan_cost,
 )
+from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plans import Plan, PlanBuilder
 from repro.sql.expr import Expr
 from repro.sql.query import SPJQuery
@@ -28,24 +28,34 @@ def greedy_join(
     alias_to_relation: Mapping[str, str],
     builder: PlanBuilder,
     site: str,
+    graph: JoinGraph | None = None,
 ) -> tuple[Plan | None, int]:
     """Combine disjoint partial plans into one by repeated cheapest joins.
 
     *parts* maps disjoint alias subsets to plans that jointly cover the
     query.  Returns the combined plan and the number of join candidates
     evaluated.  Connected joins are preferred; cross products are used
-    only when no connected pair exists.
+    only when no connected pair exists.  Callers that already hold a
+    :class:`JoinGraph` for the query pass it to share its memoized
+    connecting-conjunct lookups.
     """
-    working = dict(parts)
+    if not parts:
+        return None, 0
+    if graph is None:
+        universe: set[str] = set()
+        for key in parts:
+            universe |= key
+        graph = JoinGraph(universe, conjuncts)
+    working = {graph.mask_of(key): plan for key, plan in parts.items()}
     enumerated = 0
     while len(working) > 1:
-        best_key: tuple[frozenset[str], frozenset[str]] | None = None
+        best_key: tuple[int, int] | None = None
         best_plan: Plan | None = None
         best_connected = False
-        keys = sorted(working, key=sorted)
+        keys = sorted(working, key=graph.bits)
         for i, left in enumerate(keys):
             for right in keys[i + 1 :]:
-                connecting = connecting_conjuncts(conjuncts, left, right)
+                connecting = graph.connecting(left, right)
                 joined = builder.join(
                     working[left],
                     working[right],
@@ -68,8 +78,6 @@ def greedy_join(
         del working[left]
         del working[right]
         working[left | right] = best_plan
-    if not working:
-        return None, enumerated
     (_, plan), = working.items()
     return plan, enumerated
 

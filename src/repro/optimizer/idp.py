@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.optimizer.dp import DynamicProgrammingOptimizer, _plan_cost
 from repro.optimizer.greedy import greedy_join
+from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plans import Plan, PlanBuilder
 
 __all__ = ["IDPOptimizer"]
@@ -49,15 +50,17 @@ class IDPOptimizer(DynamicProgrammingOptimizer):
         self.m = m
         self.name = f"idp-m({k},{m})"
 
-    def prune_level(self, level: int, best: dict[frozenset[str], Plan]) -> None:
+    def prune_level(
+        self, level: int, best: dict[int, Plan], graph: JoinGraph
+    ) -> None:
         if level < 2 or level > self.k:
             return
-        this_level = [s for s in best if len(s) == level]
+        this_level = [m for m in best if m.bit_count() == level]
         if len(this_level) <= self.m:
             return
-        ranked = sorted(this_level, key=lambda s: _plan_cost(best[s]))
-        for subset in ranked[self.m :]:
-            del best[subset]
+        ranked = sorted(this_level, key=lambda m: _plan_cost(best[m]))
+        for mask in ranked[self.m :]:
+            del best[mask]
 
     def optimize(self, query, site, coverage=None, finish: bool = True):
         """DP with pruning; greedily completes the plan when pruning has
@@ -73,6 +76,7 @@ class IDPOptimizer(DynamicProgrammingOptimizer):
                 alias_to_relation,
                 self.builder,
                 site,
+                graph=result.graph,
             )
             result.enumerated += extra
             if plan is not None:

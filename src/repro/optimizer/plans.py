@@ -42,13 +42,21 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Plan:
     """Base class: a cost-annotated operator tree node."""
 
     rows: float
     site: str
     op_time: float
+    # Memoized cost views (slots-compatible: declared as real fields,
+    # excluded from init/repr/eq so plan identity is unaffected).
+    _response_time: float | None = field(
+        init=False, default=None, repr=False, compare=False
+    )
+    _work_time: float | None = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     @property
     def children(self) -> tuple["Plan", ...]:
@@ -64,7 +72,7 @@ class Plan:
         operator.  Work co-located with this operator also serializes
         with it.  Plans are immutable, so the value is memoized.
         """
-        cached = self.__dict__.get("_response_time")
+        cached = self._response_time
         if cached is not None:
             return cached
         per_site: dict[str, float] = {}
@@ -80,7 +88,7 @@ class Plan:
 
     def work_time(self) -> float:
         """Total resource-seconds consumed across all sites (memoized)."""
-        cached = self.__dict__.get("_work_time")
+        cached = self._work_time
         if cached is not None:
             return cached
         value = self.op_time + sum(c.work_time() for c in self.children)
@@ -119,7 +127,7 @@ class Plan:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FragmentScan(Plan):
     """Scan locally held fragments of one relation, applying a selection."""
 
@@ -139,7 +147,7 @@ class FragmentScan(Plan):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _Binary(Plan):
     left: Plan = field(default=None)  # type: ignore[assignment]
     right: Plan = field(default=None)  # type: ignore[assignment]
@@ -157,17 +165,17 @@ class _Binary(Plan):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HashJoin(_Binary):
     """Equi-join via hashing; the workhorse join."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NestedLoopJoin(_Binary):
     """Fallback join for non-equi conditions and cross products."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Union(Plan):
     """Bag/set union of fragment-disjoint partial answers."""
 
@@ -186,7 +194,7 @@ class Union(Plan):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupAgg(Plan):
     """Hash aggregation: GROUP BY + aggregates (or their re-aggregation)."""
 
@@ -206,7 +214,7 @@ class GroupAgg(Plan):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sort(Plan):
     """Sort on the ORDER BY keys."""
 
@@ -218,7 +226,7 @@ class Sort(Plan):
         return (self.child,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transfer(Plan):
     """Ship a child's result from its (source) site to ``dest``.
 
@@ -243,7 +251,7 @@ class Transfer(Plan):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Purchased(Plan):
     """A query-answer bought from a seller during trading.
 

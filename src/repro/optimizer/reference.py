@@ -1,0 +1,350 @@
+"""Reference (pre-bitmask) enumeration implementations.
+
+These classes preserve, verbatim, the original frozenset-based DP/IDP
+enumeration loops from before the :mod:`repro.optimizer.joingraph`
+rewire.  They are the executable *specification* of the enumeration
+order: property tests assert the bitmask implementations produce
+byte-identical plans, and ``benchmarks/bench_wallclock.py`` measures the
+speedup against them.  They are intentionally unoptimized — do not use
+them outside tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.optimizer.dp import (
+    DPResult,
+    DynamicProgrammingOptimizer,
+    _plan_cost,
+    connecting_conjuncts,
+    subset_connected,
+)
+from repro.optimizer.greedy import greedy_join
+from repro.optimizer.plans import Plan, PlanBuilder
+from repro.sql.expr import TRUE, conjoin, implies
+from repro.sql.query import SPJQuery
+
+__all__ = [
+    "ReferenceDynamicProgrammingOptimizer",
+    "ReferenceIDPOptimizer",
+    "reference_buyer_generate",
+]
+
+
+class ReferenceDynamicProgrammingOptimizer(DynamicProgrammingOptimizer):
+    """The original frozenset-per-subset System-R DP."""
+
+    name = "dp-reference"
+
+    # -- hook kept with the original (frozenset-keyed) signature ----------
+    def reference_prune_level(
+        self, level: int, best: dict[frozenset[str], Plan]
+    ) -> None:
+        """Called after each DP level; plain DP keeps everything."""
+
+    def optimize(
+        self,
+        query: SPJQuery,
+        site: str,
+        coverage=None,
+        finish: bool = True,
+    ) -> DPResult:
+        aliases = sorted(query.aliases)
+        if len(aliases) > self.max_relations:
+            raise ValueError(
+                f"{len(aliases)}-relation query exceeds DP limit "
+                f"{self.max_relations}; use IDP or greedy"
+            )
+        alias_to_relation = {r.alias: r.name for r in query.relations}
+        conjuncts = query.predicate.conjuncts()
+        best: dict[frozenset[str], Plan] = {}
+        enumerated = 0
+
+        # Level 1: fragment scans.
+        for alias in aliases:
+            ref = query.relation_for(alias)
+            scheme = self.builder.schemes[ref.name]
+            fragment_ids = (
+                coverage.get(alias, scheme.fragment_ids)
+                if coverage is not None
+                else scheme.fragment_ids
+            )
+            restriction = scheme.restriction_for(alias, fragment_ids)
+            selection_parts = [
+                c
+                for c in query.selection_on(alias).conjuncts()
+                if restriction is TRUE or not implies(restriction, c)
+            ]
+            plan = self.builder.scan(
+                ref,
+                fragment_ids,
+                conjoin(selection_parts),
+                site,
+                alias_to_relation,
+            )
+            best[frozenset((alias,))] = plan
+            enumerated += 1
+
+        # Levels 2..n: best join per subset.
+        n = len(aliases)
+        query_connected = subset_connected(frozenset(aliases), conjuncts)
+        for size in range(2, n + 1):
+            for combo in combinations(aliases, size):
+                subset = frozenset(combo)
+                if query_connected and not subset_connected(subset, conjuncts):
+                    continue
+                members = sorted(subset)
+                anchor = members[0]
+                splits: list[tuple[frozenset[str], frozenset[str]]] = []
+                for split_size in range(1, size // 2 + 1):
+                    for left_combo in combinations(members, split_size):
+                        left = frozenset(left_combo)
+                        right = subset - left
+                        if size == 2 * split_size and anchor not in left:
+                            continue
+                        if left in best and right in best:
+                            splits.append((left, right))
+                candidates: list[Plan] = []
+                for connected_pass in (True, False):
+                    for left, right in splits:
+                        connecting = connecting_conjuncts(
+                            conjuncts, left, right
+                        )
+                        if bool(connecting) != connected_pass:
+                            continue
+                        joined = self.builder.join(
+                            best[left],
+                            best[right],
+                            connecting,
+                            alias_to_relation,
+                            site=site,
+                        )
+                        enumerated += 1
+                        candidates.append(joined)
+                    if candidates:
+                        break
+                if candidates:
+                    best[subset] = min(candidates, key=_plan_cost)
+            self.reference_prune_level(size, best)
+
+        full = best.get(frozenset(aliases))
+        plan = self._finish(query, full, alias_to_relation) if finish else full
+        return DPResult(plan=plan, best=best, enumerated=enumerated)
+
+
+class ReferenceIDPOptimizer(ReferenceDynamicProgrammingOptimizer):
+    """The original frozenset-keyed IDP-M(k, m)."""
+
+    def __init__(
+        self,
+        builder: PlanBuilder,
+        k: int = 2,
+        m: int = 5,
+        max_relations: int = 24,
+    ):
+        super().__init__(builder, max_relations=max_relations)
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        if m < 1:
+            raise ValueError("m must be at least 1")
+        self.k = k
+        self.m = m
+        self.name = f"idp-m({k},{m})-reference"
+
+    def reference_prune_level(
+        self, level: int, best: dict[frozenset[str], Plan]
+    ) -> None:
+        if level < 2 or level > self.k:
+            return
+        this_level = [s for s in best if len(s) == level]
+        if len(this_level) <= self.m:
+            return
+        ranked = sorted(this_level, key=lambda s: _plan_cost(best[s]))
+        for subset in ranked[self.m :]:
+            del best[subset]
+
+    def optimize(self, query, site, coverage=None, finish: bool = True):
+        result = super().optimize(query, site, coverage, finish=False)
+        aliases = frozenset(query.aliases)
+        alias_to_relation = {r.alias: r.name for r in query.relations}
+        if aliases not in result.best and len(aliases) > 1:
+            parts = _maximal_disjoint_cover(result.best, aliases)
+            plan, extra = greedy_join(
+                parts,
+                query.predicate.conjuncts(),
+                alias_to_relation,
+                self.builder,
+                site,
+            )
+            result.enumerated += extra
+            if plan is not None:
+                result.best[aliases] = plan
+        full = result.best.get(aliases)
+        result.plan = (
+            self._finish(query, full, alias_to_relation) if finish else full
+        )
+        return result
+
+
+def _maximal_disjoint_cover(
+    best: dict[frozenset[str], Plan], aliases: frozenset[str]
+) -> dict[frozenset[str], Plan]:
+    chosen: dict[frozenset[str], Plan] = {}
+    covered: frozenset[str] = frozenset()
+    for subset in sorted(
+        best, key=lambda s: (-len(s), _plan_cost(best[s]))
+    ):
+        if subset <= aliases and not subset & covered:
+            chosen[subset] = best[subset]
+            covered |= subset
+        if covered == aliases:
+            break
+    return chosen
+
+
+def reference_buyer_generate(generator, query, offers):
+    """The original frozenset-keyed buyer plan-generation DP.
+
+    Runs the pre-rewire enumeration loop against *generator*'s own
+    builder, valuation, and key-agnostic bucket helpers, returning a
+    :class:`repro.trading.buyer.PlanGenResult` for equivalence testing.
+    """
+    from repro.trading.buyer import (
+        FINAL,
+        RAW,
+        PlanGenResult,
+        _Entry,
+        _is_complete,
+    )
+
+    aliases = frozenset(query.aliases)
+    alias_to_relation = {r.alias: r.name for r in query.relations}
+    required = generator.required_coverage(query)
+    if any(not fids for fids in required.values()):
+        return PlanGenResult(best=None)
+    conjuncts = query.predicate.conjuncts()
+    enumerated = 0
+
+    needs_final_shape = (
+        query.has_aggregates or query.group_by or query.distinct
+    )
+    subsets: dict[frozenset[str], dict[tuple, _Entry]] = {}
+    for offer in offers:
+        if not offer.aliases or not offer.aliases <= aliases:
+            continue
+        coverage = {
+            alias: frozenset(fids) & required[alias]
+            for alias, fids in offer.coverage.items()
+        }
+        if any(not fids for fids in coverage.values()):
+            continue
+        form = RAW
+        if (
+            needs_final_shape
+            and offer.exact_projections
+            and offer.aliases == aliases
+            and set(offer.query.projections) == set(query.projections)
+            and set(offer.query.group_by) == set(query.group_by)
+        ):
+            form = FINAL
+        plan = generator.builder.purchased(
+            offer.query,
+            offer.seller,
+            rows=offer.properties.rows,
+            total_time=offer.properties.total_time,
+            coverage=coverage,
+            buyer_site=generator.buyer_site,
+            offer_id=offer.offer_id,
+            money=offer.properties.money,
+            freshness=offer.properties.freshness,
+        )
+        entry = _Entry(
+            plan=plan,
+            coverage=coverage,
+            form=form,
+            complete=_is_complete(coverage, required),
+        )
+        generator._add_entry(subsets, offer.aliases, entry)
+        enumerated += 1
+
+    for subset in list(subsets):
+        enumerated += generator._union_closure(subsets, subset, query, required)
+
+    members = sorted(aliases)
+    query_connected = subset_connected(aliases, conjuncts)
+    for size in range(2, len(members) + 1):
+        for combo in combinations(members, size):
+            subset = frozenset(combo)
+            connected = subset_connected(subset, conjuncts)
+            if query_connected and not connected:
+                continue
+            anchor = min(subset)
+            allow_cross = not connected
+            for split_size in range(1, size // 2 + 1):
+                for left_combo in combinations(sorted(subset), split_size):
+                    left = frozenset(left_combo)
+                    right = subset - left
+                    if size == 2 * split_size and anchor not in left:
+                        continue
+                    left_entries = subsets.get(left)
+                    right_entries = subsets.get(right)
+                    if not left_entries or not right_entries:
+                        continue
+                    connecting = connecting_conjuncts(conjuncts, left, right)
+                    if not connecting and not allow_cross:
+                        continue
+                    for le in generator._join_participants(left_entries):
+                        for re_ in generator._join_participants(right_entries):
+                            joined = generator.builder.join(
+                                le.plan,
+                                re_.plan,
+                                connecting,
+                                alias_to_relation,
+                                site=generator.buyer_site,
+                            )
+                            enumerated += 1
+                            coverage = {**le.coverage, **re_.coverage}
+                            entry = _Entry(
+                                plan=joined,
+                                coverage=coverage,
+                                form=RAW,
+                                complete=_is_complete(coverage, required),
+                            )
+                            generator._add_entry(subsets, subset, entry)
+            enumerated += generator._union_closure(subsets, subset, query, required)
+            generator._prune(subsets, subset)
+        if generator.mode == "idp" and size == 2:
+            _reference_idp_prune(generator, subsets, size)
+
+    candidates = []
+    for entry in subsets.get(aliases, {}).values():
+        if not entry.complete:
+            continue
+        plan = entry.plan
+        if entry.form == RAW:
+            plan = generator._finish(query, plan, alias_to_relation)
+        elif query.order_by:
+            plan = generator.builder.sort(
+                generator.builder.collocate(plan, generator.buyer_site),
+                query.order_by,
+            )
+        candidates.append(generator._candidate(plan))
+    candidates.sort(key=lambda c: c.value)
+    best = candidates[0] if candidates else None
+    return PlanGenResult(best=best, candidates=candidates, enumerated=enumerated)
+
+
+def _reference_idp_prune(generator, subsets, size: int) -> None:
+    level = [
+        (subset, key, entry)
+        for subset, bucket in subsets.items()
+        if len(subset) == size
+        for key, entry in bucket.items()
+        if not entry.complete
+    ]
+    if len(level) <= generator.idp_m:
+        return
+    level.sort(key=lambda item: generator._entry_score(item[2]))
+    for subset, key, _entry in level[generator.idp_m :]:
+        del subsets[subset][key]

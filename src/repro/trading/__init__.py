@@ -28,6 +28,7 @@ from repro.trading.protocols import (
     NegotiationProtocol,
     VickreyAuctionProtocol,
 )
+from repro.trading.cache import CacheStats, OfferCache
 from repro.trading.seller import SellerAgent
 from repro.trading.subcontract import Subcontractor
 from repro.trading.market import Marketplace
@@ -50,6 +51,8 @@ __all__ = [
     "BiddingProtocol",
     "VickreyAuctionProtocol",
     "BargainingProtocol",
+    "CacheStats",
+    "OfferCache",
     "SellerAgent",
     "Subcontractor",
     "Marketplace",

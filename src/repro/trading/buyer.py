@@ -33,10 +33,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from itertools import combinations, count
+from itertools import count
 from typing import Iterable, Mapping, Sequence
 
-from repro.optimizer.dp import connecting_conjuncts, subset_connected
+from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plans import Plan, PlanBuilder, Purchased
 from repro.sql.expr import Expr, TRUE, conjoin, restriction_overlaps
 from repro.sql.query import Aggregate, SPJQuery
@@ -156,6 +156,7 @@ class BuyerPlanGenerator:
         if any(not fids for fids in required.values()):
             return PlanGenResult(best=None)  # unsatisfiable selection
         conjuncts = query.predicate.conjuncts()
+        graph = JoinGraph(aliases, conjuncts)
         enumerated = 0
 
         # Seed entries from offers.  An entry is FINAL only when the
@@ -166,7 +167,7 @@ class BuyerPlanGenerator:
         needs_final_shape = (
             query.has_aggregates or query.group_by or query.distinct
         )
-        subsets: dict[frozenset[str], dict[tuple, _Entry]] = {}
+        subsets: dict[int, dict[tuple, _Entry]] = {}
         for offer in offers:
             if not offer.aliases or not offer.aliases <= aliases:
                 continue
@@ -202,66 +203,56 @@ class BuyerPlanGenerator:
                 form=form,
                 complete=_is_complete(coverage, required),
             )
-            self._add_entry(subsets, offer.aliases, entry)
+            self._add_entry(subsets, graph.mask_of(offer.aliases), entry)
             enumerated += 1
 
         # Union closure at seed level.
         for subset in list(subsets):
             enumerated += self._union_closure(subsets, subset, query, required)
 
-        # Join DP over alias subsets.  For connected queries, disconnected
-        # subsets are skipped outright (cross-product avoidance); when the
-        # query graph itself is disconnected, cross products are allowed
-        # where unavoidable.
-        members = sorted(aliases)
-        query_connected = subset_connected(aliases, conjuncts)
-        for size in range(2, len(members) + 1):
-            for combo in combinations(members, size):
-                subset = frozenset(combo)
-                connected = subset_connected(subset, conjuncts)
-                if query_connected and not connected:
-                    continue
-                anchor = min(subset)
-                allow_cross = not connected
-                for split_size in range(1, size // 2 + 1):
-                    for left_combo in combinations(sorted(subset), split_size):
-                        left = frozenset(left_combo)
-                        right = subset - left
-                        if size == 2 * split_size and anchor not in left:
-                            continue
-                        left_entries = subsets.get(left)
-                        right_entries = subsets.get(right)
-                        if not left_entries or not right_entries:
-                            continue
-                        connecting = connecting_conjuncts(conjuncts, left, right)
-                        if not connecting and not allow_cross:
-                            continue
-                        for le in self._join_participants(left_entries):
-                            for re_ in self._join_participants(right_entries):
-                                joined = self.builder.join(
-                                    le.plan,
-                                    re_.plan,
-                                    connecting,
-                                    alias_to_relation,
-                                    site=self.buyer_site,
-                                )
-                                enumerated += 1
-                                coverage = {**le.coverage, **re_.coverage}
-                                entry = _Entry(
-                                    plan=joined,
-                                    coverage=coverage,
-                                    form=RAW,
-                                    complete=_is_complete(coverage, required),
-                                )
-                                self._add_entry(subsets, subset, entry)
-                enumerated += self._union_closure(subsets, subset, query, required)
-                self._prune(subsets, subset)
+        # Join DP over alias subsets.  For connected queries, only
+        # connected subsets are enumerated (cross-product avoidance); when
+        # the query graph itself is disconnected, every subset is visited
+        # and cross products are allowed where unavoidable.
+        query_connected = graph.is_connected
+        by_size = graph.subsets_by_size(connected_only=query_connected)
+        for size in range(2, graph.n + 1):
+            for mask in by_size[size]:
+                allow_cross = not (query_connected or graph.connected(mask))
+                for left, right in graph.splits(mask):
+                    left_entries = subsets.get(left)
+                    right_entries = subsets.get(right)
+                    if not left_entries or not right_entries:
+                        continue
+                    connecting = graph.connecting(left, right)
+                    if not connecting and not allow_cross:
+                        continue
+                    for le in self._join_participants(left_entries):
+                        for re_ in self._join_participants(right_entries):
+                            joined = self.builder.join(
+                                le.plan,
+                                re_.plan,
+                                connecting,
+                                alias_to_relation,
+                                site=self.buyer_site,
+                            )
+                            enumerated += 1
+                            coverage = {**le.coverage, **re_.coverage}
+                            entry = _Entry(
+                                plan=joined,
+                                coverage=coverage,
+                                form=RAW,
+                                complete=_is_complete(coverage, required),
+                            )
+                            self._add_entry(subsets, mask, entry)
+                enumerated += self._union_closure(subsets, mask, query, required)
+                self._prune(subsets, mask)
             if self.mode == "idp" and size == 2:
                 self._idp_prune(subsets, size)
 
         # Assemble candidates at the full subset with full coverage.
         candidates: list[CandidatePlan] = []
-        for entry in subsets.get(aliases, {}).values():
+        for entry in subsets.get(graph.full_mask, {}).values():
             if not entry.complete:
                 continue
             plan = entry.plan
@@ -317,10 +308,13 @@ class BuyerPlanGenerator:
         return plan
 
     # ------------------------------------------------------------------
+    # Bucket helpers.  *subsets* is keyed by alias-subset bitmask in the
+    # production path (see JoinGraph); the helpers never inspect the key,
+    # so the frozenset-keyed reference path reuses them unchanged.
     def _add_entry(
         self,
-        subsets: dict[frozenset[str], dict[tuple, _Entry]],
-        subset: frozenset[str],
+        subsets: dict[int, dict[tuple, _Entry]],
+        subset: int,
         entry: _Entry,
     ) -> bool:
         bucket = subsets.setdefault(subset, {})
@@ -341,8 +335,8 @@ class BuyerPlanGenerator:
 
     def _union_closure(
         self,
-        subsets: dict[frozenset[str], dict[tuple, _Entry]],
-        subset: frozenset[str],
+        subsets: dict[int, dict[tuple, _Entry]],
+        subset: int,
         query: SPJQuery,
         required: Mapping[str, frozenset[int]],
     ) -> int:
@@ -414,8 +408,8 @@ class BuyerPlanGenerator:
 
     def _greedy_complete(
         self,
-        subsets: dict[frozenset[str], dict[tuple, _Entry]],
-        subset: frozenset[str],
+        subsets: dict[int, dict[tuple, _Entry]],
+        subset: int,
         query: SPJQuery,
         required: Mapping[str, frozenset[int]],
     ) -> int:
@@ -460,8 +454,8 @@ class BuyerPlanGenerator:
 
     def _prune(
         self,
-        subsets: dict[frozenset[str], dict[tuple, _Entry]],
-        subset: frozenset[str],
+        subsets: dict[int, dict[tuple, _Entry]],
+        subset: int,
         cap: int | None = None,
     ) -> None:
         """Cap a bucket, protecting *complete* entries.
@@ -488,7 +482,7 @@ class BuyerPlanGenerator:
 
     def _idp_prune(
         self,
-        subsets: dict[frozenset[str], dict[tuple, _Entry]],
+        subsets: dict[int, dict[tuple, _Entry]],
         size: int,
     ) -> None:
         """IDP-M(2, m): keep only the best *m* two-way entries overall.
@@ -502,7 +496,7 @@ class BuyerPlanGenerator:
         level = [
             (subset, key, entry)
             for subset, bucket in subsets.items()
-            if len(subset) == size
+            if subset.bit_count() == size
             for key, entry in bucket.items()
             if not entry.complete
         ]

@@ -1,0 +1,142 @@
+"""Seller-side offer/pricing cache.
+
+Sellers re-price the same canonical subquery over and over: every bidding
+round re-asks refined variants of round-one queries, repeated trades of
+one query hit identical RFBs, and the experiment worlds sweep workloads
+whose sub-queries overlap heavily.  The optimization a seller runs for a
+given (canonical query, coverage, site) triple is deterministic, so its
+:class:`~repro.optimizer.dp.DPResult` can be reused.
+
+Simulated time stays honest: a cache hit is charged a configurable
+fraction (:attr:`OfferCache.hit_work_fraction`) of the original simulated
+optimization effort — a cached price still needs validating against
+current statistics, but not a full re-enumeration.  The node's
+:class:`~repro.cost.model.NodeCapabilities` are part of the key, so any
+capability change (e.g. marketplace load feedback) is automatically a
+miss and nothing stale is ever served.  Hit/miss counters follow the
+``NetworkStats`` snapshot/delta idiom so callers can report per-trade
+deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.cost.model import NodeCapabilities
+from repro.sql.query import SPJQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.dp import DPResult
+
+__all__ = ["CacheStats", "OfferCache", "DEFAULT_HIT_WORK_FRACTION"]
+
+#: Fraction of the original simulated optimization effort charged on a hit.
+DEFAULT_HIT_WORK_FRACTION = 0.1
+
+CacheKey = tuple[str, tuple[tuple[str, tuple[int, ...]], ...], str, NodeCapabilities, str]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, reportable as per-interval deltas."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def add(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def delta_since(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.evictions - earlier.evictions,
+        )
+
+
+class OfferCache:
+    """Deterministic memo of seller optimization results.
+
+    Parameters
+    ----------
+    hit_work_fraction:
+        Fraction of the original enumeration effort charged on a hit
+        (1.0 disables the simulated-time benefit while still skipping
+        real re-enumeration work).
+    max_entries:
+        FIFO capacity bound; the oldest entry is evicted when full.
+
+    A cache may be private to one seller or shared by all sellers of a
+    federation world; lookups are keyed by site, so sharing never mixes
+    results across nodes — it only pools capacity and statistics.
+    """
+
+    def __init__(
+        self,
+        hit_work_fraction: float = DEFAULT_HIT_WORK_FRACTION,
+        max_entries: int = 4096,
+    ):
+        if not 0.0 <= hit_work_fraction <= 1.0:
+            raise ValueError("hit_work_fraction must be in [0, 1]")
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.hit_work_fraction = hit_work_fraction
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: dict[CacheKey, "DPResult"] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(
+        query: SPJQuery,
+        coverage: Mapping[str, frozenset[int]],
+        site: str,
+        caps: NodeCapabilities,
+        optimizer_name: str,
+    ) -> CacheKey:
+        """Canonical cache key for one local optimization request."""
+        coverage_key = tuple(
+            (alias, tuple(sorted(fids)))
+            for alias, fids in sorted(coverage.items())
+        )
+        return (query.key(), coverage_key, site, caps, optimizer_name)
+
+    def lookup(self, key: CacheKey) -> "DPResult | None":
+        """The cached result for *key*, counting the hit or miss."""
+        result = self._entries.get(key)
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return result
+
+    def store(self, key: CacheKey, result: "DPResult") -> None:
+        if key in self._entries:
+            self._entries[key] = result
+            return
+        if len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.stats.evictions += 1
+        self._entries[key] = result
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -33,6 +33,7 @@ from repro.sql.expr import TRUE
 from repro.sql.query import SPJQuery
 from repro.sql.rewrite import RewrittenQuery, rewrite_query
 from repro.sql.views import match_view
+from repro.trading.cache import OfferCache
 from repro.trading.commodity import AnswerProperties, Offer, RequestForBids
 from repro.trading.strategy import (
     CooperativeSellerStrategy,
@@ -82,6 +83,10 @@ class SellerAgent:
         extension Section 3.5 sketches and defers: a seller missing some
         of the requested data may *purchase* it from third nodes and
         offer the combined (e.g. pre-joined) answer itself.
+    offer_cache:
+        A shared :class:`~repro.trading.cache.OfferCache`; by default the
+        agent creates a private one.  Pass ``use_offer_cache=False`` to
+        disable caching entirely (every request re-optimizes).
     """
 
     def __init__(
@@ -98,6 +103,8 @@ class SellerAgent:
         seconds_per_plan: float = DEFAULT_SECONDS_PER_PLAN,
         subcontractor=None,
         freshness: float = 1.0,
+        offer_cache: OfferCache | None = None,
+        use_offer_cache: bool = True,
     ):
         self.node = local.node
         self.local = local
@@ -114,6 +121,10 @@ class SellerAgent:
         if not (0.0 <= freshness <= 1.0):
             raise ValueError("freshness must be in [0, 1]")
         self.freshness = freshness
+        if offer_cache is not None:
+            self.offer_cache: OfferCache | None = offer_cache
+        else:
+            self.offer_cache = OfferCache() if use_offer_cache else None
 
     # ------------------------------------------------------------------
     def prepare_offers(
@@ -129,6 +140,48 @@ class SellerAgent:
             offers.extend(new_offers)
             work += query_work
         return _dedupe(offers), work
+
+    # ------------------------------------------------------------------
+    def optimize_cached(
+        self,
+        query: SPJQuery,
+        coverage: Mapping[str, frozenset[int]],
+    ) -> tuple[DPResult, float]:
+        """Local optimization through the offer/pricing cache.
+
+        Returns the (possibly cached) :class:`DPResult` and the simulated
+        optimization effort to charge: the full ``enumerated ×
+        seconds_per_plan`` on a miss, the cache's ``hit_work_fraction``
+        of it on a hit.  The key includes this node's current
+        capabilities, so load/capability changes invalidate naturally and
+        a hit is always exactly what re-optimizing would have produced.
+        """
+        cache = self.offer_cache
+        if cache is None:
+            result = self.optimizer.optimize(
+                query, self.node, coverage=dict(coverage)
+            )
+            return result, result.enumerated * self.seconds_per_plan
+        key = cache.key_for(
+            query,
+            coverage,
+            self.node,
+            self.builder.caps(self.node),
+            self.optimizer.name,
+        )
+        cached = cache.lookup(key)
+        if cached is not None:
+            work = (
+                cached.enumerated
+                * self.seconds_per_plan
+                * cache.hit_work_fraction
+            )
+            return cached, work
+        result = self.optimizer.optimize(
+            query, self.node, coverage=dict(coverage)
+        )
+        cache.store(key, result)
+        return result, result.enumerated * self.seconds_per_plan
 
     # ------------------------------------------------------------------
     def _offers_for(
@@ -151,10 +204,10 @@ class SellerAgent:
             query, self.local.schemas, self.local.schemes, self.local.held
         )
         if rewritten is not None:
-            result = self.optimizer.optimize(
-                rewritten.query, self.node, coverage=dict(rewritten.coverage)
+            result, opt_work = self.optimize_cached(
+                rewritten.query, rewritten.coverage
             )
-            work += result.enumerated * self.seconds_per_plan
+            work += opt_work
             if result.plan is not None:
                 offers.extend(
                     self._plan_offers(query, rewritten, result, ctx)

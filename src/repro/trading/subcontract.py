@@ -197,8 +197,12 @@ class Subcontractor:
         builder = seller.builder
         alias_to_relation = {r.alias: r.name for r in query.relations}
 
-        local_result = seller.optimizer.optimize(
-            rewritten.query, seller.node, coverage=dict(rewritten.coverage)
+        # Goes through the offer cache: the main offer path has usually
+        # just priced this same rewritten query.  The work charge is
+        # dropped either way (this combination step is not separately
+        # billed), so only real wall-clock is saved here.
+        local_result, _work = seller.optimize_cached(
+            rewritten.query, rewritten.coverage
         )
         plan = local_result.plan
         if plan is None:

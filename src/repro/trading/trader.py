@@ -32,6 +32,7 @@ from repro.trading.buyer import (
     BuyerPredicatesAnalyser,
     CandidatePlan,
 )
+from repro.trading.cache import CacheStats
 from repro.trading.commodity import Offer, RequestForBids
 from repro.trading.contracts import Contract
 from repro.trading.protocols import BiddingProtocol, NegotiationProtocol
@@ -65,6 +66,7 @@ class TradingResult:
     optimization_time: float = 0.0  # simulated seconds
     messages: NetworkStats = field(default_factory=NetworkStats)
     trace: list[IterationTrace] = field(default_factory=list)
+    cache: CacheStats = field(default_factory=CacheStats)  # seller offer caches
 
     @property
     def found(self) -> bool:
@@ -135,6 +137,7 @@ class QueryTrader:
         net = self.network
         start_time = net.now
         start_stats = net.stats.snapshot()
+        start_cache = self._cache_stats()
 
         asked: set[str] = set()
         offers: dict[tuple, Offer] = {}
@@ -266,7 +269,25 @@ class QueryTrader:
             optimization_time=net.now - start_time,
             messages=net.stats.delta_since(start_stats),
             trace=trace,
+            cache=self._cache_stats().delta_since(start_cache),
         )
+
+    # ------------------------------------------------------------------
+    def _cache_stats(self) -> CacheStats:
+        """Aggregate offer-cache counters across the market's sellers.
+
+        Distinct cache objects only — a world-shared cache is counted
+        once, not once per seller holding a reference to it.
+        """
+        total = CacheStats()
+        seen: set[int] = set()
+        for agent in self.sellers.values():
+            cache = getattr(agent, "offer_cache", None)
+            if cache is None or id(cache) in seen:
+                continue
+            seen.add(id(cache))
+            total.add(cache.stats)
+        return total
 
     # ------------------------------------------------------------------
     def retrade_after_failure(

@@ -51,6 +51,25 @@ class TestSimulator:
         with pytest.raises(RuntimeError):
             sim.run_until_idle(max_events=100)
 
+    def test_budget_exactly_covers_queue(self):
+        sim = Simulator()
+        log = []
+        for _ in range(3):
+            sim.schedule(0.0, lambda: log.append(1))
+        sim.run_until_idle(max_events=3)
+        assert len(log) == 3
+
+    def test_budget_checked_before_each_handler(self):
+        # Regression: the budget used to be checked only after a handler
+        # ran, so max_events + 1 handlers could execute before the error.
+        sim = Simulator()
+        log = []
+        for _ in range(5):
+            sim.schedule(0.0, lambda: log.append(1))
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle(max_events=3)
+        assert len(log) == 3
+
 
 class TestNetwork:
     @pytest.fixture

@@ -1,0 +1,151 @@
+"""Seller offer-cache behavior: accounting, keying, and negotiation impact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_world, run_qt
+from repro.cost import NodeCapabilities
+from repro.trading import CacheStats, OfferCache, SellerAgent
+from repro.workload import chain_query
+
+from tests.conftest import make_federation
+
+
+class TestCacheStats:
+    def test_counters_and_rates(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        assert CacheStats().hit_rate == 0.0
+
+    def test_snapshot_delta(self):
+        stats = CacheStats(hits=2, misses=5, evictions=1)
+        earlier = stats.snapshot()
+        stats.add(CacheStats(hits=4, misses=1))
+        delta = stats.delta_since(earlier)
+        assert (delta.hits, delta.misses, delta.evictions) == (4, 1, 0)
+
+
+class TestOfferCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OfferCache(hit_work_fraction=1.5)
+        with pytest.raises(ValueError):
+            OfferCache(hit_work_fraction=-0.1)
+        with pytest.raises(ValueError):
+            OfferCache(max_entries=0)
+
+    def test_miss_then_hit(self):
+        cache = OfferCache()
+        caps = NodeCapabilities()
+        query = chain_query(2)
+        key = cache.key_for(query, {"r0": frozenset((0,))}, "n0", caps, "dp")
+        assert cache.lookup(key) is None
+        cache.store(key, "result")
+        assert cache.lookup(key) == "result"
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_key_includes_capabilities_and_coverage(self):
+        cache = OfferCache()
+        query = chain_query(2)
+        coverage = {"r0": frozenset((0, 1))}
+        caps = NodeCapabilities()
+        base = cache.key_for(query, coverage, "n0", caps, "dp")
+        # Load feedback (E13) changes capabilities -> different key.
+        loaded = cache.key_for(
+            query, coverage, "n0", caps.with_load(0.5), "dp"
+        )
+        assert loaded != base
+        other_cov = cache.key_for(
+            query, {"r0": frozenset((0,))}, "n0", caps, "dp"
+        )
+        assert other_cov != base
+        other_site = cache.key_for(query, coverage, "n1", caps, "dp")
+        assert other_site != base
+        # Coverage iteration order does not matter.
+        two = {"r0": frozenset((1, 0)), "r1": frozenset((2,))}
+        reordered = {"r1": frozenset((2,)), "r0": frozenset((0, 1))}
+        assert cache.key_for(
+            query, two, "n0", caps, "dp"
+        ) == cache.key_for(query, reordered, "n0", caps, "dp")
+
+    def test_fifo_eviction(self):
+        cache = OfferCache(max_entries=2)
+        caps = NodeCapabilities()
+        query = chain_query(2)
+        keys = [
+            cache.key_for(query, {}, f"n{i}", caps, "dp") for i in range(3)
+        ]
+        for i, key in enumerate(keys):
+            cache.store(key, i)
+        assert cache.stats.evictions == 1
+        assert cache.lookup(keys[0]) is None  # the oldest was evicted
+        assert cache.lookup(keys[1]) == 1
+        assert cache.lookup(keys[2]) == 2
+
+
+class TestSellerCachedOptimize:
+    def test_hit_charges_fraction_of_work(self):
+        catalog, nodes, _est, _model, builder = make_federation()
+        node = nodes[0]
+        agent = SellerAgent(catalog.local(node), builder)
+        query = chain_query(2)
+        coverage = {
+            alias: frozenset(
+                catalog.schemes[query.relation_for(alias).name].fragment_ids
+            )
+            for alias in query.aliases
+        }
+        first, first_work = agent.optimize_cached(query, coverage)
+        again, again_work = agent.optimize_cached(query, coverage)
+        assert again is first  # the very same memoized result
+        assert first_work == first.enumerated * agent.seconds_per_plan
+        assert again_work == pytest.approx(
+            first_work * agent.offer_cache.hit_work_fraction
+        )
+        assert agent.offer_cache.stats.hits == 1
+
+    def test_disabled_cache_reoptimizes(self):
+        catalog, nodes, _est, _model, builder = make_federation()
+        node = nodes[0]
+        agent = SellerAgent(
+            catalog.local(node), builder, use_offer_cache=False
+        )
+        assert agent.offer_cache is None
+        query = chain_query(2)
+        first, first_work = agent.optimize_cached(query, {})
+        second, second_work = agent.optimize_cached(query, {})
+        assert first is not second
+        assert first_work == second_work
+
+
+class TestNegotiationWithCache:
+    def test_repeat_trade_hits_cache_with_identical_plan(self):
+        world = build_world(nodes=6, n_relations=4)
+        query = chain_query(3)
+        first = run_qt(world, query)
+        second = run_qt(world, query)
+        assert second.cache_hits >= 1
+        assert second.plan_cost == first.plan_cost
+        assert second.messages == first.messages
+
+    def test_first_trade_unaffected_by_cache(self):
+        query = chain_query(3)
+        cached = run_qt(build_world(nodes=6, n_relations=4), query)
+        uncached = run_qt(
+            build_world(nodes=6, n_relations=4),
+            query,
+            offer_cache=None,
+            use_offer_cache=False,
+        )
+        assert uncached.cache_hits == 0 and uncached.cache_misses == 0
+        assert cached.plan_cost == uncached.plan_cost
+        assert cached.messages == uncached.messages
+        assert cached.offers == uncached.offers
+        # Intra-trade hits may shave simulated pricing time, but never
+        # change what the negotiation decides.
+        assert cached.optimization_time <= uncached.optimization_time
