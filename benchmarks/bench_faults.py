@@ -1,0 +1,67 @@
+"""Wall-clock / quality record for the fault-injection experiment family.
+
+Runs E-F1..E-F3 once, recording per-row plan quality, degradation vs the
+fault-free reference, simulated negotiation time, and message/fault
+accounting, plus the wall-clock seconds each sweep took.  Writes
+``BENCH_faults.json`` at the repository root.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.bench.experiments import (
+    ef1_drop_rate_sweep,
+    ef2_crash_sweep,
+    ef3_timeout_tuning,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_faults.json"
+
+
+def run_family(fn) -> dict:
+    start = time.perf_counter()
+    table = fn()
+    wall_s = time.perf_counter() - start
+    return {
+        "experiment": table.experiment,
+        "title": table.title,
+        "wall_s": round(wall_s, 3),
+        "headers": table.headers,
+        "rows": [[str(cell) for cell in row] for row in table.rows],
+    }
+
+
+def main() -> None:
+    record = {
+        "benchmark": "fault-injection & resilience (E-F1..E-F3)",
+        "families": [
+            run_family(ef1_drop_rate_sweep),
+            run_family(ef2_crash_sweep),
+            run_family(ef3_timeout_tuning),
+        ],
+    }
+    # Quality gates: the record is only worth committing if the
+    # resilience machinery actually held plan quality together.
+    ef1 = record["families"][0]
+    costs = {row[1] for row in ef1["rows"]}
+    assert "-" not in costs, "E-F1: some drop rate failed to produce a plan"
+    assert len(costs) == 1, "E-F1: plan cost drifted across drop rates"
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    for family in record["families"]:
+        print(
+            f"{family['experiment']}: {len(family['rows'])} rows "
+            f"in {family['wall_s']}s"
+        )
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

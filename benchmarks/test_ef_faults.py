@@ -1,0 +1,44 @@
+"""E-F1..E-F3 — fault injection & resilience.
+
+E-F1 sweeps the uniform message drop rate: QT's round deadlines with
+backoff re-issue (plus a full negotiation retry when a round comes up
+empty) keep plan quality flat while message/time overhead grows.
+
+E-F2 crashes the fault-free negotiation's winners before delivery: the
+buyer voids their contracts and renegotiates among survivors; plans
+survive until a needed fragment loses its last replica.
+
+E-F3 tunes the round deadline at a fixed drop rate: tight deadlines
+retry aggressively (more messages), loose ones wait out every loss
+(more simulated time).
+"""
+
+from repro.bench.experiments import (
+    ef1_drop_rate_sweep,
+    ef2_crash_sweep,
+    ef3_timeout_tuning,
+)
+
+
+def test_ef1_drop_rate_sweep(benchmark, report):
+    table = benchmark.pedantic(ef1_drop_rate_sweep, rounds=1, iterations=1)
+    report(table)
+    assert table.rows
+    # Every drop rate quiesced and produced a complete plan.
+    assert all(cost != "-" for cost in table.column("plan cost"))
+
+
+def test_ef2_crash_sweep(benchmark, report):
+    table = benchmark.pedantic(ef2_crash_sweep, rounds=1, iterations=1)
+    report(table)
+    assert table.rows
+    # Plans survive crashes exactly until a fragment's last replica dies.
+    for cost, lost in zip(table.column("plan cost"), table.column("replica lost")):
+        assert (cost == "-") == (lost == "yes")
+
+
+def test_ef3_timeout_tuning(benchmark, report):
+    table = benchmark.pedantic(ef3_timeout_tuning, rounds=1, iterations=1)
+    report(table)
+    assert table.rows
+    assert all(cost != "-" for cost in table.column("plan cost"))

@@ -24,7 +24,9 @@ from repro.bench.harness import (
     run_distidp,
     run_mariposa,
     run_qt,
+    run_qt_faulty,
 )
+from repro.faults import FaultPlan
 from repro.cost import CardinalityEstimator, CostModel, NodeCapabilities
 from repro.net import MessageKind, Network
 from repro.optimizer import PlanBuilder
@@ -56,6 +58,9 @@ __all__ = [
     "e11_subcontracting",
     "e12_offer_ablations",
     "e13_load_balancing",
+    "ef1_drop_rate_sweep",
+    "ef2_crash_sweep",
+    "ef3_timeout_tuning",
     "build_split_federation_world",
 ]
 
@@ -744,6 +749,207 @@ def e10_plan_generator_variants(
                 f"{dp.plan_cost:.4f}",
                 f"{idp.optimization_time:.4f}",
                 f"{idp.plan_cost:.4f}",
+            ]
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# E-F1..E-F3: fault injection & resilience (unreliable federations)
+# ----------------------------------------------------------------------
+def _fault_world(nodes: int, seed: int) -> World:
+    """A replicated federation for the fault experiments.
+
+    Seller offer caches are disabled so every row re-prices from scratch
+    — repeated runs at different fault rates stay directly comparable.
+    """
+    world = build_world(
+        nodes=nodes, n_relations=4, fragments=3, replicas=2, seed=seed
+    )
+    world.offer_cache = None
+    return world
+
+
+def _fault_free_reference(world: World, query):
+    """Fault-free QT run: the baseline cost plus its contract winners."""
+    network = Network(world.model)
+    trader = QueryTrader(
+        BUYER,
+        world.seller_agents(use_offer_cache=False),
+        network,
+        BuyerPlanGenerator(world.builder, BUYER),
+    )
+    return trader.optimize(query)
+
+
+def ef1_drop_rate_sweep(
+    drop_rates: Sequence[float] = (0.0, 0.05, 0.10, 0.20, 0.35),
+    nodes: int = 8,
+    seed: int = 7,
+) -> ExperimentTable:
+    """E-F1: plan quality and negotiation cost vs message drop rate.
+
+    Every link drops each message with the given probability; the
+    bidding rounds run under a deadline with backoff re-issue.  QT's
+    redundancy (replicas bid independently) keeps plan cost flat while
+    the deadline machinery converts losses into bounded waiting.
+    """
+    world = _fault_world(nodes, seed)
+    query = chain_query(3, selection_cat=3)
+    base = _fault_free_reference(world, query)
+    table = ExperimentTable(
+        "E-F1",
+        "Message drop-rate sweep (deadline 0.05s, retries 2)",
+        [
+            "drop rate",
+            "plan cost",
+            "degradation",
+            "opt time",
+            "messages",
+            "dropped",
+            "timeouts",
+            "retries",
+        ],
+    )
+    for rate in drop_rates:
+        plan = FaultPlan.uniform(drop_rate=rate, seed=seed)
+        m = run_qt_faulty(
+            world,
+            query,
+            plan,
+            timeout=0.05,
+            baseline_cost=base.plan_cost,
+            use_offer_cache=False,
+        )
+        table.rows.append(
+            [
+                f"{rate:.2f}",
+                f"{m.plan_cost:.4f}" if m.found else "-",
+                f"{m.degradation:+.1%}" if m.degradation is not None else "-",
+                f"{m.optimization_time:.4f}",
+                m.messages,
+                m.dropped,
+                m.timeouts,
+                m.retried,
+            ]
+        )
+    return table
+
+
+def ef2_crash_sweep(
+    crash_counts: Sequence[int] = (0, 1, 2, 3),
+    nodes: int = 8,
+    seed: int = 7,
+) -> ExperimentTable:
+    """E-F2: contract renegotiation vs number of crashed winners.
+
+    The fault-free negotiation's winning sellers are crashed (scheduled
+    to die before delivery); the buyer voids their contracts, re-trades
+    the uncovered subqueries among survivors, and reassembles.  With
+    2-way replication the degradation stays small until the crash count
+    eats into the last replica of a fragment.
+    """
+    world = _fault_world(nodes, seed)
+    query = chain_query(3, selection_cat=3)
+    base = _fault_free_reference(world, query)
+    winners = sorted({c.seller for c in base.contracts})
+    placements = list(world.catalog.placements())
+    relations = {ref.name for ref in query.relations}
+    table = ExperimentTable(
+        "E-F2",
+        "Winner crash sweep (crash before delivery, renegotiate)",
+        [
+            "crashed",
+            "plan cost",
+            "degradation",
+            "opt time",
+            "messages",
+            "renegotiations",
+            "replica lost",
+        ],
+    )
+    for count in crash_counts:
+        crashed = winners[:count]
+        # Does some needed fragment lose its last replica?  Then no
+        # renegotiation can cover the query — QT reports failure instead
+        # of silently returning a partial plan.
+        lost = any(
+            rel in relations and holders <= set(crashed)
+            for rel, _, holders in placements
+        )
+        plan = FaultPlan(seed=seed)
+        for node in crashed:
+            plan = plan.with_crash(node, crash_at=1e6)
+        m = run_qt_faulty(
+            world,
+            query,
+            plan,
+            timeout=0.05,
+            baseline_cost=base.plan_cost,
+            use_offer_cache=False,
+        )
+        table.rows.append(
+            [
+                count,
+                f"{m.plan_cost:.4f}" if m.found else "-",
+                f"{m.degradation:+.1%}" if m.degradation is not None else "-",
+                f"{m.optimization_time:.4f}",
+                m.messages,
+                m.renegotiations,
+                "yes" if lost else "no",
+            ]
+        )
+    return table
+
+
+def ef3_timeout_tuning(
+    timeouts: Sequence[float] = (0.01, 0.03, 0.05, 0.2, 1.0),
+    drop_rate: float = 0.15,
+    nodes: int = 8,
+    seed: int = 7,
+) -> ExperimentTable:
+    """E-F3: negotiation deadline tuning at a fixed 15% drop rate.
+
+    Deadlines trade waiting for completeness: a tight deadline closes
+    rounds fast but sees fewer offers (risking worse plans or extra
+    iterations); a loose one waits out every lost reply.  The sweet spot
+    sits just above the honest round-trip + pricing time.
+    """
+    world = _fault_world(nodes, seed)
+    query = chain_query(3, selection_cat=3)
+    base = _fault_free_reference(world, query)
+    table = ExperimentTable(
+        "E-F3",
+        f"Round-deadline tuning at drop rate {drop_rate:.2f}",
+        [
+            "deadline",
+            "plan cost",
+            "degradation",
+            "opt time",
+            "messages",
+            "timeouts",
+            "retries",
+        ],
+    )
+    for timeout in timeouts:
+        plan = FaultPlan.uniform(drop_rate=drop_rate, seed=seed)
+        m = run_qt_faulty(
+            world,
+            query,
+            plan,
+            timeout=timeout,
+            baseline_cost=base.plan_cost,
+            use_offer_cache=False,
+        )
+        table.rows.append(
+            [
+                f"{timeout:.2f}",
+                f"{m.plan_cost:.4f}" if m.found else "-",
+                f"{m.degradation:+.1%}" if m.degradation is not None else "-",
+                f"{m.optimization_time:.4f}",
+                m.messages,
+                m.timeouts,
+                m.retried,
             ]
         )
     return table

@@ -23,6 +23,12 @@ from repro.baselines import (
     MariposaBroker,
 )
 from repro.catalog import Catalog, FederationConfig, build_federation
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    RenegotiationPolicy,
+    ResilientTrader,
+)
 from repro.cost import (
     CardinalityEstimator,
     CostModel,
@@ -33,6 +39,7 @@ from repro.net import Network
 from repro.optimizer import PlanBuilder
 from repro.sql.query import SPJQuery
 from repro.trading import (
+    BiddingProtocol,
     BuyerPlanGenerator,
     BuyerStrategy,
     NegotiationProtocol,
@@ -47,6 +54,7 @@ __all__ = [
     "Measurement",
     "build_world",
     "run_qt",
+    "run_qt_faulty",
     "run_distdp",
     "run_distidp",
     "run_mariposa",
@@ -141,6 +149,13 @@ class Measurement:
     payments: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    # Fault/resilience accounting (zero for fault-free runs).
+    dropped: int = 0
+    duplicated: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    renegotiations: int = 0
+    degradation: float | None = None  # vs the fault-free reference cost
 
     def row(self) -> list:
         return [
@@ -201,6 +216,69 @@ def run_qt(
         payments=result.total_payment,
         cache_hits=result.cache.hits,
         cache_misses=result.cache.misses,
+    )
+
+
+def run_qt_faulty(
+    world: World,
+    query: SPJQuery,
+    fault_plan: FaultPlan,
+    timeout: float | None = 0.05,
+    max_retries: int = 2,
+    backoff: float = 2.0,
+    mode: str = "dp",
+    label: str | None = None,
+    baseline_cost: float | None = None,
+    policy: RenegotiationPolicy | None = None,
+    max_iterations: int = 6,
+    **agent_kwargs,
+) -> Measurement:
+    """Run QT under *fault_plan* with the full resilience stack engaged.
+
+    The negotiation runs behind a :class:`FaultInjector` built from the
+    plan, the bidding protocol gets round deadlines (*timeout*, with
+    exponential-backoff re-issue), and a :class:`ResilientTrader`
+    renegotiates contracts whose winners crash before delivery.  Pass
+    ``baseline_cost`` (the fault-free plan cost) to have the measurement
+    report plan degradation.
+    """
+    network = Network(world.model)
+    injector = FaultInjector(fault_plan)
+    network.install_faults(injector)
+    sellers = world.seller_agents(None, **agent_kwargs)
+    plangen = BuyerPlanGenerator(world.builder, BUYER, mode=mode)
+    trader = QueryTrader(
+        BUYER,
+        sellers,
+        network,
+        plangen,
+        protocol=BiddingProtocol(
+            timeout=timeout, max_retries=max_retries, backoff=backoff
+        ),
+        max_iterations=max_iterations,
+    )
+    resilient = ResilientTrader(
+        trader, injector, policy=policy, fault_free_cost=baseline_cost
+    )
+    result = resilient.optimize(query)
+    summary = result.resilience
+    return Measurement(
+        optimizer=label or f"qt-{mode}+faults",
+        found=result.found,
+        plan_cost=result.plan_cost if result.found else float("inf"),
+        optimization_time=result.optimization_time,
+        messages=result.messages.messages,
+        iterations=result.iterations,
+        offers=result.offers_considered,
+        payments=result.total_payment,
+        cache_hits=result.cache.hits,
+        cache_misses=result.cache.misses,
+        dropped=result.messages.dropped,
+        duplicated=result.messages.duplicated,
+        retried=result.messages.retried,
+        timeouts=summary.timeouts_fired,
+        renegotiations=summary.renegotiations,
+        degradation=summary.degradation,
     )
 
 

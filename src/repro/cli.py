@@ -4,6 +4,8 @@ Usage::
 
     python -m repro trade "SELECT * FROM R0 r0 WHERE r0.cat = 3" \
         --nodes 8 --relations 3 --fragments 4 --replicas 2
+    python -m repro trade "SELECT * FROM R0 r0 WHERE r0.cat = 3" \
+        --fault-plan examples/fault_plan.json --timeout 0.05
     python -m repro telecom --offices 4 --views
     python -m repro experiment E3 E9
     python -m repro experiment --all
@@ -22,10 +24,16 @@ from repro.bench.experiments import ExperimentTable
 from repro.cost import CardinalityEstimator, CostModel
 from repro.execution import FederationData, PlanExecutor, evaluate_query
 from repro.execution.tables import materialize_catalog
+from repro.faults import FaultInjector, FaultPlan, ResilientTrader
 from repro.net import Network
 from repro.optimizer import PlanBuilder
 from repro.sql import ParseError, parse_query
-from repro.trading import BuyerPlanGenerator, QueryTrader, SellerAgent
+from repro.trading import (
+    BiddingProtocol,
+    BuyerPlanGenerator,
+    QueryTrader,
+    SellerAgent,
+)
 from repro.workload import build_telecom_scenario
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -45,6 +53,9 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E11": experiments_module.e11_subcontracting,
     "E12": experiments_module.e12_offer_ablations,
     "E13": experiments_module.e13_load_balancing,
+    "E-F1": experiments_module.ef1_drop_rate_sweep,
+    "E-F2": experiments_module.ef2_crash_sweep,
+    "E-F3": experiments_module.ef3_timeout_tuning,
 }
 
 
@@ -75,6 +86,20 @@ def _build_parser() -> argparse.ArgumentParser:
     trade.add_argument(
         "--execute", action="store_true",
         help="materialize data, execute the plan, verify vs. centralized",
+    )
+    trade.add_argument(
+        "--fault-plan", metavar="JSON",
+        help="JSON fault-plan file (see examples/fault_plan.json); "
+             "negotiate under injected faults with the resilience stack",
+    )
+    trade.add_argument(
+        "--timeout", type=float, default=0.05,
+        help="negotiation round deadline in simulated seconds "
+             "(with --fault-plan; default 0.05)",
+    )
+    trade.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-issues of an all-silent round (with --fault-plan)",
     )
 
     telecom = sub.add_parser(
@@ -111,13 +136,28 @@ def _cmd_trade(args: argparse.Namespace) -> int:
         print(f"cannot parse query: {exc}", file=sys.stderr)
         return 2
     network = Network(world.model)
+    injector = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.from_file(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load fault plan: {exc}", file=sys.stderr)
+            return 2
+        injector = FaultInjector(fault_plan)
+        network.install_faults(injector)
     trader = QueryTrader(
         "client",
         world.seller_agents(),
         network,
         BuyerPlanGenerator(world.builder, "client", mode=args.plangen),
+        protocol=BiddingProtocol(
+            timeout=args.timeout, max_retries=args.max_retries
+        ) if injector else None,
     )
-    result = trader.optimize(query)
+    if injector is not None:
+        result = ResilientTrader(trader, injector).optimize(query)
+    else:
+        result = trader.optimize(query)
     if not result.found:
         print("no distributed plan could be negotiated", file=sys.stderr)
         return 1
@@ -127,6 +167,12 @@ def _cmd_trade(args: argparse.Namespace) -> int:
         f"{result.messages.messages} messages, "
         f"{result.optimization_time:.4f}s simulated optimization time"
     )
+    if injector is not None:
+        stats = result.messages
+        print(
+            f"faults: {stats.dropped} dropped, {stats.duplicated} duplicated, "
+            f"{stats.retried} re-sent; {result.resilience.describe()}"
+        )
     print(f"plan (estimated response time {result.plan_cost:.4f}s):")
     print(result.best.plan.explain())
     print("contracts:")

@@ -1,0 +1,32 @@
+"""Fault injection & resilience for unreliable federations.
+
+The paper targets "very large autonomous federations" — where remote
+sites are slow, overloaded, or gone mid-negotiation.  This package makes
+that world testable, deterministically:
+
+* :class:`FaultPlan` — pure data: per-link drop/duplicate/delay-spike
+  rates, per-site crash/recover schedules, an RNG seed; JSON in/out.
+* :class:`FaultInjector` — plugs a plan into a
+  :class:`~repro.net.simulator.Network` via its delivery-interception
+  hook.  No plan (or a null plan) ⇒ byte-identical behavior to the
+  fault-free fabric.
+* :class:`ResilientTrader` — the buyer-side survival machinery: round
+  deadlines with backoff re-issue live in the negotiation protocol;
+  this wrapper adds post-award contract renegotiation when winning
+  sellers crash before delivery.
+"""
+
+from repro.faults.injector import FaultInjector, InjectionLog
+from repro.faults.plan import ANY, CrashWindow, FaultPlan, LinkFaults
+from repro.faults.resilience import RenegotiationPolicy, ResilientTrader
+
+__all__ = [
+    "ANY",
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectionLog",
+    "LinkFaults",
+    "RenegotiationPolicy",
+    "ResilientTrader",
+]

@@ -1,0 +1,226 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is pure data — per-link message fault rates and
+per-site crash/recover schedules plus an RNG seed — so a plan can be
+serialized to JSON, committed next to an experiment, and replayed
+bit-for-bit.  The :class:`~repro.faults.injector.FaultInjector` turns a
+plan into behavior; the plan itself never draws randomness (crash
+schedules are explicit time windows, not rates, which keeps "which site
+died when" reviewable in the plan file).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field, replace
+from typing import Iterable, Mapping
+
+__all__ = ["LinkFaults", "CrashWindow", "FaultPlan"]
+
+#: Matches any sender/recipient in a link override.
+ANY = "*"
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link message fault distribution.
+
+    ``drop_rate``/``duplicate_rate``/``delay_spike_rate`` are per-message
+    Bernoulli probabilities; ``delay_spike_seconds`` scales the extra
+    delay added when a spike fires (the injector samples the magnitude
+    uniformly in ``[1, 2) × delay_spike_seconds``).
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_spike_rate: float = 0.0
+    delay_spike_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "delay_spike_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.delay_spike_seconds < 0:
+            raise ValueError("delay_spike_seconds cannot be negative")
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.delay_spike_rate == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One crash interval of a site: down in ``[crash_at, recover_at)``.
+
+    ``recover_at=None`` means the site never comes back.
+    """
+
+    crash_at: float
+    recover_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.crash_at < 0:
+            raise ValueError("crash_at cannot be negative")
+        if self.recover_at is not None and self.recover_at <= self.crash_at:
+            raise ValueError("recover_at must be after crash_at")
+
+    def covers(self, t: float) -> bool:
+        if t < self.crash_at:
+            return False
+        return self.recover_at is None or t < self.recover_at
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Does the window intersect ``[start, end]`` (end may be inf)?"""
+        if end < self.crash_at:
+            return False
+        return self.recover_at is None or start < self.recover_at
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, serializable description of an unreliable federation.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the injector's private RNG; two injectors built from
+        equal plans replay the identical fault sequence.
+    default_link:
+        Fault rates applied to every link without an explicit override.
+    links:
+        Overrides keyed by ``(sender, recipient)``; either side may be
+        ``"*"`` to match any node.  Most-specific match wins:
+        exact > ``(sender, *)`` > ``(*, recipient)`` > default.
+    crashes:
+        Per-site crash schedules, each a tuple of :class:`CrashWindow`.
+    """
+
+    seed: int = 0
+    default_link: LinkFaults = field(default_factory=LinkFaults)
+    links: Mapping[tuple[str, str], LinkFaults] = field(default_factory=dict)
+    crashes: Mapping[str, tuple[CrashWindow, ...]] = field(default_factory=dict)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.default_link.is_null
+            and all(link.is_null for link in self.links.values())
+            and not self.crashes
+        )
+
+    # -- lookups -----------------------------------------------------------
+    def link_for(self, sender: str, recipient: str) -> LinkFaults:
+        for key in (
+            (sender, recipient),
+            (sender, ANY),
+            (ANY, recipient),
+        ):
+            link = self.links.get(key)
+            if link is not None:
+                return link
+        return self.default_link
+
+    def windows_for(self, node: str) -> tuple[CrashWindow, ...]:
+        return self.crashes.get(node, ())
+
+    def is_down(self, node: str, t: float) -> bool:
+        return any(w.covers(t) for w in self.windows_for(node))
+
+    def down_during(self, node: str, start: float, end: float) -> bool:
+        """Is *node* down at any point of ``[start, end]``?"""
+        return any(w.overlaps(start, end) for w in self.windows_for(node))
+
+    # -- construction helpers ---------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_spike_rate: float = 0.0,
+        delay_spike_seconds: float = 0.0,
+        crashes: Mapping[str, Iterable[CrashWindow]] | None = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Same fault rates on every link (the sweep experiments' shape)."""
+        return cls(
+            seed=seed,
+            default_link=LinkFaults(
+                drop_rate=drop_rate,
+                duplicate_rate=duplicate_rate,
+                delay_spike_rate=delay_spike_rate,
+                delay_spike_seconds=delay_spike_seconds,
+            ),
+            crashes={
+                node: tuple(windows)
+                for node, windows in (crashes or {}).items()
+            },
+        )
+
+    def with_crash(
+        self, node: str, crash_at: float, recover_at: float | None = None
+    ) -> "FaultPlan":
+        """A copy with one more crash window appended for *node*."""
+        crashes = {n: tuple(ws) for n, ws in self.crashes.items()}
+        crashes[node] = crashes.get(node, ()) + (
+            CrashWindow(crash_at, recover_at),
+        )
+        return replace(self, crashes=crashes)
+
+    # -- JSON --------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "default_link": asdict(self.default_link),
+            "links": [
+                {"sender": sender, "recipient": recipient, **asdict(link)}
+                for (sender, recipient), link in sorted(self.links.items())
+            ],
+            "crashes": [
+                {
+                    "node": node,
+                    "crash_at": w.crash_at,
+                    "recover_at": w.recover_at,
+                }
+                for node, windows in sorted(self.crashes.items())
+                for w in windows
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "FaultPlan":
+        unknown = set(data) - {"seed", "default_link", "links", "crashes"}
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+        links: dict[tuple[str, str], LinkFaults] = {}
+        for entry in data.get("links", ()):
+            entry = dict(entry)
+            sender = entry.pop("sender", ANY)
+            recipient = entry.pop("recipient", ANY)
+            links[(sender, recipient)] = LinkFaults(**entry)
+        crashes: dict[str, tuple[CrashWindow, ...]] = {}
+        for entry in data.get("crashes", ()):
+            entry = dict(entry)
+            node = entry.pop("node")
+            crashes[node] = crashes.get(node, ()) + (CrashWindow(**entry),)
+        return cls(
+            seed=int(data.get("seed", 0)),
+            default_link=LinkFaults(**data.get("default_link", {})),
+            links=links,
+            crashes=crashes,
+        )
+
+    def to_file(self, path: str | pathlib.Path) -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_json(), indent=2) + "\n"
+        )
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "FaultPlan":
+        return cls.from_json(json.loads(pathlib.Path(path).read_text()))

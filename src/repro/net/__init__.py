@@ -9,6 +9,13 @@ the experiments can report exchanged-message counts exactly.
 """
 
 from repro.net.messages import Message, MessageKind
-from repro.net.simulator import Network, NetworkStats, Simulator
+from repro.net.simulator import Network, NetworkStats, Simulator, TimerHandle
 
-__all__ = ["Message", "MessageKind", "Network", "NetworkStats", "Simulator"]
+__all__ = [
+    "Message",
+    "MessageKind",
+    "Network",
+    "NetworkStats",
+    "Simulator",
+    "TimerHandle",
+]

@@ -24,6 +24,7 @@ class MessageKind(Enum):
     NO_OFFER = "no_offer"
     AWARD = "award"
     REJECT = "reject"
+    VOID = "void"  # buyer rescinds an awarded contract (seller crashed)
     COUNTER_OFFER = "counter_offer"
     ACCEPT = "accept"
     STATS_REQUEST = "stats_request"

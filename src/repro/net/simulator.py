@@ -4,26 +4,60 @@ Two layers:
 
 * :class:`Simulator` — a bare event loop: schedule callables at absolute
   simulated times, run until idle.  Ties are broken by insertion order,
-  so runs are fully deterministic.
+  so runs are fully deterministic.  :meth:`Simulator.schedule_cancellable`
+  returns a :class:`TimerHandle` (negotiation deadlines use it); cancelled
+  timers are lazily discarded when popped, without advancing the clock.
 * :class:`Network` — the federation fabric on top: registered node
   handlers, message delivery with latency + size/bandwidth delay,
   per-node compute serialization (a node that accepts work is busy until
   it finishes; concurrent work at *different* nodes overlaps), and
-  complete :class:`NetworkStats`.
+  complete :class:`NetworkStats`.  An optional fault injector (see
+  :mod:`repro.faults`) intercepts deliveries; with none installed the
+  delivery path is byte-identical to a fault-free fabric.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.cost.model import CostModel
 from repro.net.messages import Message, MessageKind
 
-__all__ = ["Simulator", "Network", "NetworkStats"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+
+__all__ = ["Simulator", "Network", "NetworkStats", "TimerHandle"]
 
 Handler = Callable[["Network", Message], None]
+
+
+class TimerHandle:
+    """Handle of a cancellable timer.
+
+    ``cancel()`` is idempotent and returns whether it took effect: a
+    timer that already fired (or was already cancelled) cannot be
+    cancelled again.  Cancellation is *lazy* — the heap entry stays put
+    and is discarded when popped, costing neither a budget slot nor a
+    clock advance.
+    """
+
+    __slots__ = ("cancelled", "fired")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.fired = False
+
+    @property
+    def active(self) -> bool:
+        return not (self.cancelled or self.fired)
+
+    def cancel(self) -> bool:
+        if not self.active:
+            return False
+        self.cancelled = True
+        return True
 
 
 class Simulator:
@@ -31,17 +65,44 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[
+            tuple[float, int, Callable[[], None], TimerHandle | None]
+        ] = []
         self._seq = 0
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
         """Run *fn* at ``now + delay`` (delay must be non-negative)."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn))
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, None))
         self._seq += 1
 
-    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+    def schedule_cancellable(
+        self, delay: float, fn: Callable[[], None]
+    ) -> TimerHandle:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        handle = TimerHandle()
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, handle))
+        self._seq += 1
+        return handle
+
+    def schedule_at(
+        self, when: float, fn: Callable[[], None], allow_past: bool = False
+    ) -> None:
+        """Run *fn* at absolute time *when*.
+
+        Scheduling strictly before ``now`` is a bug in the caller's time
+        arithmetic and raises unless ``allow_past=True`` is passed, in
+        which case the event is clamped to ``now`` (the historical
+        behavior, which silently hid such bugs).
+        """
+        if when < self.now and not allow_past:
+            raise ValueError(
+                f"schedule_at({when!r}) is in the past (now={self.now!r}); "
+                "pass allow_past=True to clamp to now"
+            )
         self.schedule(max(0.0, when - self.now), fn)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
@@ -50,29 +111,47 @@ class Simulator:
         Raises ``RuntimeError`` once *max_events* events have been
         processed and more remain — the budget is checked before each
         handler runs, so at most ``max_events`` handlers ever execute.
+        Cancelled timers are skipped without charging the budget or
+        advancing the clock.
         """
         processed = 0
         while self._queue:
+            when, _seq, fn, handle = heapq.heappop(self._queue)
+            if handle is not None and handle.cancelled:
+                continue
             if processed >= max_events:
                 raise RuntimeError("simulation did not quiesce")
-            when, _seq, fn = heapq.heappop(self._queue)
             self.now = max(self.now, when)
+            if handle is not None:
+                handle.fired = True
             fn()
             processed += 1
         return self.now
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return sum(
+            1
+            for _when, _seq, _fn, handle in self._queue
+            if handle is None or not handle.cancelled
+        )
 
 
 @dataclass
 class NetworkStats:
-    """Counters the experiments report."""
+    """Counters the experiments report.
+
+    ``dropped``/``duplicated``/``retried`` only move when a fault
+    injector (or a retrying protocol) is active; a fault-free run keeps
+    them at zero.
+    """
 
     messages: int = 0
     bytes: int = 0
     by_kind: dict[MessageKind, int] = field(default_factory=dict)
+    dropped: int = 0
+    duplicated: int = 0
+    retried: int = 0
 
     def record(self, message: Message, size: int) -> None:
         self.messages += 1
@@ -83,7 +162,14 @@ class NetworkStats:
         return self.by_kind.get(kind, 0)
 
     def snapshot(self) -> "NetworkStats":
-        return NetworkStats(self.messages, self.bytes, dict(self.by_kind))
+        return NetworkStats(
+            self.messages,
+            self.bytes,
+            dict(self.by_kind),
+            self.dropped,
+            self.duplicated,
+            self.retried,
+        )
 
     def delta_since(self, earlier: "NetworkStats") -> "NetworkStats":
         by_kind = {
@@ -94,6 +180,9 @@ class NetworkStats:
             self.messages - earlier.messages,
             self.bytes - earlier.bytes,
             {k: v for k, v in by_kind.items() if v},
+            self.dropped - earlier.dropped,
+            self.duplicated - earlier.duplicated,
+            self.retried - earlier.retried,
         )
 
 
@@ -106,12 +195,20 @@ class Network:
     optimization/pricing effort; replies scheduled at the returned time
     therefore reflect queueing at a busy seller while independent sellers
     overlap — the source of QT's flat scaling in federation size.
+
+    Fault interception: :meth:`install_faults` plugs a
+    :class:`~repro.faults.injector.FaultInjector` into the delivery path.
+    Every send is still *recorded* (it left the sender), but the injector
+    decides the delivery times — zero, one, or several — modelling drops,
+    duplicates, delay spikes, and crashed recipients.  With no injector
+    installed the path is exactly the historical one.
     """
 
     def __init__(self, cost_model: CostModel | None = None):
         self.cost_model = cost_model or CostModel()
         self.sim = Simulator()
         self.stats = NetworkStats()
+        self.fault_injector: "FaultInjector | None" = None
         self._handlers: dict[str, Handler] = {}
         self._busy_until: dict[str, float] = {}
 
@@ -127,6 +224,11 @@ class Network:
     @property
     def nodes(self) -> tuple[str, ...]:
         return tuple(sorted(self._handlers))
+
+    # -- faults ------------------------------------------------------------
+    def install_faults(self, injector: "FaultInjector | None") -> None:
+        """Install (or remove, with ``None``) the fault injector."""
+        self.fault_injector = injector
 
     # -- time ------------------------------------------------------------
     @property
@@ -173,8 +275,13 @@ class Network:
         )
         self.stats.record(message, size)
         depart = max(self.now, earliest if earliest is not None else self.now)
-        deliver_at = depart + self.message_delay(message)
+        if self.fault_injector is None:
+            self._schedule_delivery(message, depart + self.message_delay(message))
+            return
+        for deliver_at in self.fault_injector.intercept(self, message, depart):
+            self._schedule_delivery(message, deliver_at)
 
+    def _schedule_delivery(self, message: Message, deliver_at: float) -> None:
         def _deliver() -> None:
             handler = self._handlers.get(message.recipient)
             if handler is not None:

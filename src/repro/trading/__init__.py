@@ -33,7 +33,11 @@ from repro.trading.seller import SellerAgent
 from repro.trading.subcontract import Subcontractor
 from repro.trading.market import Marketplace
 from repro.trading.buyer import BuyerPlanGenerator, BuyerPredicatesAnalyser
-from repro.trading.trader import QueryTrader, TradingResult
+from repro.trading.trader import (
+    QueryTrader,
+    ResilienceSummary,
+    TradingResult,
+)
 
 __all__ = [
     "AnswerProperties",
@@ -59,5 +63,6 @@ __all__ = [
     "BuyerPlanGenerator",
     "BuyerPredicatesAnalyser",
     "QueryTrader",
+    "ResilienceSummary",
     "TradingResult",
 ]

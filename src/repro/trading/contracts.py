@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.trading.commodity import AnswerProperties, Offer
 
@@ -15,11 +15,19 @@ class Contract:
 
     ``agreed`` may differ from the offer's original properties when the
     protocol's payment rule repriced it (e.g. Vickrey second-price).
+    ``voided`` marks a contract the buyer rescinded before delivery —
+    e.g. because the selling node crashed — and hence owes nothing on;
+    voided contracts are kept (in the resilience summary) for
+    accounting, never in a result's active contract list.
     """
 
     buyer: str
     offer: Offer
     agreed: AnswerProperties
+    voided: bool = False
+
+    def void(self) -> "Contract":
+        return replace(self, voided=True)
 
     @property
     def seller(self) -> str:

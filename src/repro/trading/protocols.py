@@ -58,11 +58,19 @@ def offers_size(network: Network, offers: Sequence[Offer]) -> int:
 
 @dataclass
 class SolicitResult:
-    """Offers gathered in one negotiation round, with timing."""
+    """Offers gathered in one negotiation round, with timing.
+
+    ``timeouts_fired``/``retries`` only move for deadline-aware
+    protocols (a :class:`BiddingProtocol` constructed with a timeout):
+    how many round deadlines expired, and how many times an all-silent
+    round was re-issued.
+    """
 
     offers: list[Offer]
     started_at: float
     finished_at: float
+    timeouts_fired: int = 0
+    retries: int = 0
 
     @property
     def elapsed(self) -> float:
@@ -145,9 +153,38 @@ class NegotiationProtocol:
 
 
 class BiddingProtocol(NegotiationProtocol):
-    """One sealed-bid round: RFB broadcast, offers collected."""
+    """One sealed-bid round: RFB broadcast, offers collected.
+
+    With ``timeout=None`` (the default) the round simply runs until the
+    network quiesces — the historical, fault-free behavior.  With a
+    timeout, the buyer attaches a *deadline* to the round via a
+    cancellable simulator timer: the round closes on the deadline with
+    whatever bids arrived (late offers are discarded), the timer is
+    cancelled early when every contacted seller answered, and a round in
+    which *no* seller answered at all is re-issued with exponential
+    backoff (``timeout × backoff^attempt``) up to ``max_retries`` times.
+    In a fault-free run every seller answers, the deadline timer is
+    cancelled without firing, and behavior — timings, messages, offers —
+    is identical to the no-timeout path.
+    """
 
     name = "bidding"
+
+    def __init__(
+        self,
+        timeout: float | None = None,
+        max_retries: int = 2,
+        backoff: float = 2.0,
+    ):
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
 
     def solicit(
         self,
@@ -158,6 +195,9 @@ class BiddingProtocol(NegotiationProtocol):
     ) -> SolicitResult:
         started = network.now
         collected: list[Offer] = []
+        expected = sorted(node for node in sellers if node != buyer)
+        responded: set[str] = set()
+        state = {"closed": False, "timer": None, "timeouts": 0, "retries": 0}
 
         def seller_handler(net: Network, message: Message) -> None:
             if message.kind is not MessageKind.RFB:
@@ -185,25 +225,58 @@ class BiddingProtocol(NegotiationProtocol):
                 )
 
         def buyer_handler(net: Network, message: Message) -> None:
+            if state["closed"]:
+                return  # round already closed on its deadline
             if message.kind is MessageKind.OFFER:
                 collected.extend(message.payload)
+                responded.add(message.sender)
+            elif message.kind is MessageKind.NO_OFFER:
+                responded.add(message.sender)
+            else:
+                return
+            if self.timeout is not None and responded >= set(expected):
+                # Everyone answered: close early, cancel the deadline.
+                state["closed"] = True
+                if state["timer"] is not None:
+                    state["timer"].cancel()
+
+        def issue(attempt: int) -> None:
+            if self.timeout is not None:
+                deadline = self.timeout * (self.backoff**attempt)
+                state["timer"] = network.sim.schedule_cancellable(
+                    deadline, on_deadline
+                )
+            for node in expected:
+                network.send(
+                    Message(
+                        MessageKind.RFB,
+                        buyer,
+                        node,
+                        rfb,
+                        size_bytes=rfb_size(network, rfb),
+                    )
+                )
+
+        def on_deadline() -> None:
+            state["timeouts"] += 1
+            if not responded and state["retries"] < self.max_retries:
+                # All sellers silent: re-issue with exponential backoff.
+                state["retries"] += 1
+                network.stats.retried += len(expected)
+                issue(state["retries"])
+            else:
+                state["closed"] = True
 
         self._swap_handlers(network, buyer, sellers, buyer_handler, seller_handler)
-        for node in sorted(sellers):
-            if node == buyer:
-                continue
-            network.send(
-                Message(
-                    MessageKind.RFB,
-                    buyer,
-                    node,
-                    rfb,
-                    size_bytes=rfb_size(network, rfb),
-                )
-            )
+        issue(0)
         network.run()
+        state["closed"] = True
         return SolicitResult(
-            offers=collected, started_at=started, finished_at=network.now
+            offers=collected,
+            started_at=started,
+            finished_at=network.now,
+            timeouts_fired=state["timeouts"],
+            retries=state["retries"],
         )
 
     @staticmethod
@@ -258,14 +331,23 @@ class BargainingProtocol(NegotiationProtocol):
 
     name = "bargaining"
 
-    def __init__(self, max_rounds: int = 3, concession: float = 0.5):
+    def __init__(
+        self,
+        max_rounds: int = 3,
+        concession: float = 0.5,
+        timeout: float | None = None,
+        max_retries: int = 2,
+        backoff: float = 2.0,
+    ):
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
         if not (0.0 < concession <= 1.0):
             raise ValueError("concession must be in (0, 1]")
         self.max_rounds = max_rounds
         self.concession = concession
-        self._bidding = BiddingProtocol()
+        self._bidding = BiddingProtocol(
+            timeout=timeout, max_retries=max_retries, backoff=backoff
+        )
 
     def solicit(
         self,
@@ -278,6 +360,8 @@ class BargainingProtocol(NegotiationProtocol):
         reservations = dict(rfb.reservations)
         collected: dict[tuple, Offer] = {}
         valuation: Valuation = WeightedValuation()
+        timeouts_fired = 0
+        retries = 0
         for round_number in range(self.max_rounds):
             if round_number == self.max_rounds - 1:
                 reservations = {}
@@ -288,6 +372,8 @@ class BargainingProtocol(NegotiationProtocol):
                 round_number=rfb.round_number,
             )
             result = self._bidding.solicit(network, buyer, sellers, current)
+            timeouts_fired += result.timeouts_fired
+            retries += result.retries
             got_new = False
             for offer in result.offers:
                 key = (offer.seller, offer.query.key(), offer.exact_projections)
@@ -325,4 +411,6 @@ class BargainingProtocol(NegotiationProtocol):
             offers=list(collected.values()),
             started_at=started,
             finished_at=network.now,
+            timeouts_fired=timeouts_fired,
+            retries=retries,
         )

@@ -40,7 +40,7 @@ from repro.trading.seller import SellerAgent
 from repro.trading.strategy import BuyerStrategy
 from repro.trading.valuation import Valuation, WeightedValuation
 
-__all__ = ["QueryTrader", "TradingResult"]
+__all__ = ["QueryTrader", "TradingResult", "ResilienceSummary"]
 
 
 @dataclass
@@ -52,6 +52,52 @@ class IterationTrace:
     offers_received: int
     best_value: float | None
     elapsed: float
+
+
+@dataclass
+class ResilienceSummary:
+    """What it took to survive an unreliable federation.
+
+    All-zero for a fault-free run.  ``degradation`` compares the final
+    plan against a fault-free reference cost when one is known:
+    ``0.0`` means the faults cost nothing, ``0.25`` a 25% worse plan.
+    """
+
+    timeouts_fired: int = 0  # CFB round deadlines that expired
+    retries: int = 0  # all-silent rounds re-issued (with backoff)
+    renegotiations: int = 0  # post-award re-trades after seller crashes
+    contracts_voided: int = 0
+    voided: list[Contract] = field(default_factory=list)
+    fault_free_cost: float | None = None  # reference plan cost, if known
+    final_cost: float | None = None
+
+    @property
+    def degradation(self) -> float | None:
+        if not self.fault_free_cost or self.final_cost is None:
+            return None
+        return self.final_cost / self.fault_free_cost - 1.0
+
+    @property
+    def clean(self) -> bool:
+        """True when no resilience machinery had to engage."""
+        return not (
+            self.timeouts_fired
+            or self.retries
+            or self.renegotiations
+            or self.contracts_voided
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"timeouts={self.timeouts_fired}",
+            f"retries={self.retries}",
+            f"renegotiations={self.renegotiations}",
+            f"voided={self.contracts_voided}",
+        ]
+        degradation = self.degradation
+        if degradation is not None:
+            parts.append(f"degradation={degradation:+.1%}")
+        return " ".join(parts)
 
 
 @dataclass
@@ -67,6 +113,7 @@ class TradingResult:
     messages: NetworkStats = field(default_factory=NetworkStats)
     trace: list[IterationTrace] = field(default_factory=list)
     cache: CacheStats = field(default_factory=CacheStats)  # seller offer caches
+    resilience: ResilienceSummary = field(default_factory=ResilienceSummary)
 
     @property
     def found(self) -> bool:
@@ -148,6 +195,7 @@ class QueryTrader:
         queries: list[SPJQuery] = [query]
         trace: list[IterationTrace] = []
         iterations = 0
+        resilience = ResilienceSummary()
 
         for round_number in range(1, self.max_iterations + 1):
             queries = [q for q in queries if q.key() not in asked]
@@ -174,6 +222,8 @@ class QueryTrader:
 
             # B2/B3: solicit offers over the network.
             result = self.protocol.solicit(net, self.buyer, self.sellers, rfb)
+            resilience.timeouts_fired += result.timeouts_fired
+            resilience.retries += result.retries
             for offer in result.offers:
                 key = (
                     offer.seller,
@@ -260,6 +310,9 @@ class QueryTrader:
                 for o in final
             ]
 
+        resilience.final_cost = (
+            best.properties.total_time if best is not None else None
+        )
         return TradingResult(
             query=query,
             best=best,
@@ -270,6 +323,7 @@ class QueryTrader:
             messages=net.stats.delta_since(start_stats),
             trace=trace,
             cache=self._cache_stats().delta_since(start_cache),
+            resilience=resilience,
         )
 
     # ------------------------------------------------------------------

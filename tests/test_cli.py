@@ -42,6 +42,42 @@ class TestTrade:
         assert code == 2
         assert "cannot parse" in capsys.readouterr().err
 
+    def test_trade_with_fault_plan(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+
+        plan_file = tmp_path / "plan.json"
+        FaultPlan.uniform(drop_rate=0.1, seed=11).to_file(plan_file)
+        code = main(
+            [
+                "trade",
+                "SELECT * FROM R0 r0 WHERE r0.cat = 3",
+                "--nodes", "4",
+                "--relations", "1",
+                "--rows", "400",
+                "--fault-plan", str(plan_file),
+                "--execute",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults:" in out
+        assert "MATCH" in out
+
+    def test_trade_with_bad_fault_plan(self, capsys, tmp_path):
+        plan_file = tmp_path / "bad.json"
+        plan_file.write_text('{"chaos": true}')
+        code = main(
+            [
+                "trade",
+                "SELECT * FROM R0 r0",
+                "--nodes", "4",
+                "--relations", "1",
+                "--fault-plan", str(plan_file),
+            ]
+        )
+        assert code == 2
+        assert "cannot load fault plan" in capsys.readouterr().err
+
 
 class TestTelecom:
     def test_runs(self, capsys):
@@ -69,7 +105,9 @@ class TestExperiment:
         assert "[E9]" in out
 
     def test_registry_complete(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
+        expected = {f"E{i}" for i in range(1, 14)}
+        expected |= {"E-F1", "E-F2", "E-F3"}
+        assert set(EXPERIMENTS) == expected
 
 
 class TestList:

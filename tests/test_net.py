@@ -177,3 +177,109 @@ class TestNetwork:
         net.unregister("a")
         net.register("a", lambda n, m: None)  # no error
         assert "a" in net.nodes
+
+
+class TestCancellableTimers:
+    def test_cancel_before_fire(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule_cancellable(1.0, lambda: log.append("timer"))
+        sim.schedule(2.0, lambda: log.append("later"))
+        assert handle.active
+        assert handle.cancel() is True
+        assert not handle.active
+        sim.run_until_idle()
+        assert log == ["later"]
+        # A cancelled entry neither fires nor advances the clock to its
+        # own deadline on pop — time is driven by live events only.
+        assert sim.now == 2.0
+
+    def test_cancelled_timer_alone_leaves_clock_untouched(self):
+        sim = Simulator()
+        handle = sim.schedule_cancellable(5.0, lambda: None)
+        handle.cancel()
+        sim.run_until_idle()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule_cancellable(1.0, lambda: log.append("x"))
+        sim.run_until_idle()
+        assert log == ["x"]
+        assert handle.fired and not handle.active
+        assert handle.cancel() is False
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule_cancellable(1.0, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+        sim.run_until_idle()
+        assert not handle.fired
+
+    def test_cancelled_entries_do_not_consume_event_budget(self):
+        sim = Simulator()
+        log = []
+        handles = [
+            sim.schedule_cancellable(1.0, lambda: log.append(1))
+            for _ in range(10)
+        ]
+        for handle in handles:
+            handle.cancel()
+        sim.schedule(1.0, lambda: log.append("live"))
+        sim.run_until_idle(max_events=1)  # only the live event counts
+        assert log == ["live"]
+
+    def test_tie_break_determinism_with_interleaved_cancels(self):
+        # Cancelling some of several same-time events must not disturb
+        # the insertion ordering of the survivors.
+        sim = Simulator()
+        log = []
+        handles = {}
+        for i in range(6):
+            handles[i] = sim.schedule_cancellable(
+                1.0, lambda i=i: log.append(i)
+            )
+        for i in (0, 3, 4):
+            handles[i].cancel()
+        sim.run_until_idle()
+        assert log == [1, 2, 5]
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule_cancellable(1.0, lambda: None)
+        drop = sim.schedule_cancellable(1.0, lambda: None)
+        assert sim.pending == 2
+        drop.cancel()
+        assert sim.pending == 1
+        sim.run_until_idle()
+        assert keep.fired and not drop.fired
+
+
+class TestScheduleAtPastGuard:
+    def test_past_deadline_raises(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_past_deadline_allowed_when_opted_in(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run_until_idle()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append(sim.now), allow_past=True)
+        sim.run_until_idle()
+        # The event fires "now", it cannot rewind the clock.
+        assert log == [2.0]
+        assert sim.now == 2.0
+
+    def test_present_deadline_is_fine(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(0.0, lambda: log.append("now"))
+        sim.run_until_idle()
+        assert log == ["now"]

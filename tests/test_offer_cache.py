@@ -149,3 +149,74 @@ class TestNegotiationWithCache:
         # Intra-trade hits may shave simulated pricing time, but never
         # change what the negotiation decides.
         assert cached.optimization_time <= uncached.optimization_time
+
+
+class TestCacheChurnUnderRenegotiation:
+    """Fault-driven renegotiation re-prices subqueries while node load
+    shifts (crashed peers dump their work on survivors).  The cache key
+    embeds the seller's *current* capabilities, so no amount of churn may
+    ever serve an offer priced for a stale capability snapshot."""
+
+    import hypothesis.strategies as st
+    from hypothesis import HealthCheck, given, settings
+
+    LOADS = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+    @staticmethod
+    def _setup():
+        catalog, nodes, _est, _model, builder = make_federation(
+            nodes=4, n_relations=2, fragments=2, replicas=2
+        )
+        node = nodes[0]
+        agent = SellerAgent(catalog.local(node), builder)
+        query = chain_query(2)
+        coverage = {
+            alias: frozenset(
+                catalog.schemes[query.relation_for(alias).name].fragment_ids
+            )
+            for alias in query.aliases
+        }
+        return builder, node, agent, query, coverage
+
+    @given(loads=st.lists(st.sampled_from(LOADS), min_size=1, max_size=8))
+    @settings(
+        deadline=None,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_churn_never_serves_stale_offers(self, loads):
+        builder, node, agent, query, coverage = self._setup()
+        base_caps = builder.caps(node)
+        fresh = SellerAgent(agent.local, builder, use_offer_cache=False)
+        for load in loads:
+            builder.capabilities[node] = base_caps.with_load(load)
+            cached_result, _ = agent.optimize_cached(query, coverage)
+            expected, _ = fresh.optimize_cached(query, coverage)
+            # Whatever mixture of hits and misses the churn produced,
+            # the cached answer must equal re-optimizing under the
+            # node's *current* capabilities, bit for bit.
+            assert cached_result.plan.explain() == expected.plan.explain()
+            assert (
+                cached_result.plan.response_time()
+                == expected.plan.response_time()
+            )
+            assert cached_result.enumerated == expected.enumerated
+
+    @given(
+        first=st.sampled_from(LOADS),
+        second=st.sampled_from(LOADS),
+    )
+    @settings(deadline=None, max_examples=20)
+    def test_repeat_load_hits_distinct_loads_miss(self, first, second):
+        builder, node, agent, query, coverage = self._setup()
+        base_caps = builder.caps(node)
+        builder.capabilities[node] = base_caps.with_load(first)
+        agent.optimize_cached(query, coverage)
+        before = agent.offer_cache.stats.snapshot()
+        builder.capabilities[node] = base_caps.with_load(second)
+        agent.optimize_cached(query, coverage)
+        delta = agent.offer_cache.stats.delta_since(before)
+        if second == first:
+            assert (delta.hits, delta.misses) == (1, 0)
+        else:
+            assert (delta.hits, delta.misses) == (0, 1)
