@@ -1,0 +1,266 @@
+"""Wall-clock benchmark: the parallel trading engine vs serial.
+
+Times one negotiation round's offer generation — every seller's
+``prepare_offers`` for the buyer's RFB — serially and through the
+:class:`~repro.parallel.OfferFarm` process pool, across worker counts,
+query widths (joins), and federation sizes (sites).  Also times the
+:func:`~repro.parallel.run_sweep` experiment runner over a job grid.
+Offers are asserted byte-identical (``describe()`` strings, in delivery
+order) before any number is trusted.  Writes ``BENCH_parallel.json`` at
+the repository root.
+
+The worlds use heavy replication/fragmentation so each seller holds a
+meaningful local DP — that is the regime the farm targets; with trivial
+per-seller work the fork/pickle overhead dominates and the serial path
+wins (which the farm's threshold-free design accepts: callers choose
+``--workers``).
+
+Speedups depend on the host: the ≥2x acceptance gate for the
+8-join/32-site case is enforced only when the machine reports at least
+4 CPUs; below that the numbers are recorded as measured.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import pathlib
+import time
+
+import repro.trading.commodity as commodity
+from repro.bench.harness import build_world
+from repro.parallel import OfferFarm, SweepJob, available_cpus, get_pool, run_sweep
+from repro.trading import RequestForBids
+from repro.workload import chain_query
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_parallel.json"
+
+REPEATS = 3
+WORKER_COUNTS = (2, 4, 8)
+JOINS_CURVE = (4, 6, 8, 10)
+SITES_CURVE = (8, 16, 32, 64)
+# Heavy replication: each of the 32 sites holds fragments of many
+# relations, so a seller's local DP is real work, not microseconds.
+REPLICAS = 8
+FRAGMENTS = 6
+SPEEDUP_TARGET = 2.0
+MIN_CPUS_FOR_GATE = 4
+
+
+def _heavy_world(sites: int, joins: int):
+    return build_world(
+        nodes=sites,
+        n_relations=joins + 1,
+        replicas=min(REPLICAS, sites - 2),
+        fragments=FRAGMENTS,
+        seed=7,
+    )
+
+
+def _offer_round(world, rfb, workers: int) -> tuple[list[str], float]:
+    """One full offer-generation round; returns (describes, seconds).
+
+    ``workers == 1`` is the plain serial loop; otherwise the round runs
+    through the farm: prepare (fan out + gather) plus per-seller consume,
+    i.e. everything the parallel engine adds is inside the timer.
+    """
+    sellers = world.seller_agents(use_offer_cache=False)
+    commodity._offer_ids = itertools.count(1)
+    describes: list[str] = []
+    start = time.perf_counter()
+    if workers == 1:
+        for node in sorted(sellers):
+            offers, _work = sellers[node].prepare_offers(rfb)
+            describes.extend(o.describe() for o in offers)
+    else:
+        farm = OfferFarm(workers)
+        prefetch = farm.prepare(sellers, rfb, exclude="client")
+        if prefetch is None:
+            raise SystemExit(f"farm refused round (workers={workers})")
+        for node in sorted(sellers):
+            batch = prefetch.consume(node, sellers[node], rfb)
+            offers, _work = batch
+            describes.extend(o.describe() for o in offers)
+        prefetch.discard()
+    return describes, time.perf_counter() - start
+
+
+def bench_offer_rounds(
+    sites: int, joins: int, worker_counts, repeats: int
+) -> dict:
+    """Best-of-*repeats* round times for serial and each worker count."""
+    world = _heavy_world(sites, joins)
+    query = chain_query(joins + 1, selection_cat=3)
+    rfb = RequestForBids(buyer="client", queries=(query,), round_number=1)
+
+    serial_best = float("inf")
+    reference = None
+    for _ in range(repeats):
+        describes, elapsed = _offer_round(world, rfb, workers=1)
+        serial_best = min(serial_best, elapsed)
+        reference = describes
+
+    row = {
+        "case": f"offers-{joins}j-{sites}s",
+        "joins": joins,
+        "sites": sites,
+        "offers": len(reference),
+        "serial_s": serial_best,
+        "workers": {},
+    }
+    for workers in worker_counts:
+        get_pool(workers)  # pool spawn is one-time; keep it off the clock
+        best = float("inf")
+        for _ in range(repeats):
+            describes, elapsed = _offer_round(world, rfb, workers)
+            assert describes == reference, (
+                f"parallel offers diverged (workers={workers}, "
+                f"joins={joins}, sites={sites})"
+            )
+            best = min(best, elapsed)
+        row["workers"][str(workers)] = {
+            "best_s": best,
+            "speedup": serial_best / best,
+        }
+    return row
+
+
+def bench_sweep(worker_counts, repeats: int, joins_list) -> dict:
+    """The parallel sweep runner over a (joins x mode) measurement grid."""
+    jobs = [
+        SweepJob(
+            label=f"qt-{mode}-{joins}j",
+            runner="qt",
+            world={"nodes": 12, "n_relations": 7, "seed": 7},
+            query={"n_relations": joins, "selection_cat": 3},
+            run={"mode": mode, "offer_cache": None, "use_offer_cache": False},
+        )
+        for joins in joins_list
+        for mode in ("dp", "idp")
+    ]
+
+    def signature(measurements):
+        return [
+            (m.optimizer, m.plan_cost, m.optimization_time, m.messages,
+             m.plan_explain)
+            for m in measurements
+        ]
+
+    serial_best = float("inf")
+    reference = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        measurements = run_sweep(jobs, workers=1)
+        serial_best = min(serial_best, time.perf_counter() - start)
+        reference = signature(measurements)
+
+    row = {
+        "case": f"sweep-{len(jobs)}-jobs",
+        "jobs": len(jobs),
+        "serial_s": serial_best,
+        "workers": {},
+    }
+    for workers in worker_counts:
+        get_pool(workers)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            measurements = run_sweep(jobs, workers=workers)
+            best = min(best, time.perf_counter() - start)
+            assert signature(measurements) == reference, (
+                f"sweep measurements diverged (workers={workers})"
+            )
+        row["workers"][str(workers)] = {
+            "best_s": best,
+            "speedup": serial_best / best,
+        }
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller grid and fewer repeats (for CI smoke runs)",
+    )
+    args = parser.parse_args()
+
+    repeats = 2 if args.quick else REPEATS
+    worker_counts = (2, 4) if args.quick else WORKER_COUNTS
+    joins_curve = (4, 8) if args.quick else JOINS_CURVE
+    sites_curve = (8, 32) if args.quick else SITES_CURVE
+    sweep_joins = (3, 4) if args.quick else (3, 4, 5)
+
+    cpus = available_cpus()
+    joins_rows = [
+        bench_offer_rounds(32, joins, worker_counts, repeats)
+        for joins in joins_curve
+    ]
+    sites_rows = [
+        bench_offer_rounds(sites, 8, worker_counts, repeats)
+        for sites in sites_curve
+        if sites != 32  # already measured in the joins curve
+    ]
+    sweep_row = bench_sweep(worker_counts, repeats, sweep_joins)
+
+    eight_join = next(r for r in joins_rows if r["joins"] == 8)
+    accept_workers = "4" if "4" in eight_join["workers"] else str(
+        max(int(w) for w in eight_join["workers"])
+    )
+    accept_speedup = eight_join["workers"][accept_workers]["speedup"]
+    gate_enforced = cpus >= MIN_CPUS_FOR_GATE
+
+    payload = {
+        "description": (
+            "Wall-clock comparison: OfferFarm process-pool offer "
+            "generation and the parallel sweep runner vs the serial "
+            "paths (offers asserted byte-identical)."
+        ),
+        "cpus": cpus,
+        "repeats_best_of": repeats,
+        "quick": args.quick,
+        "world": {"replicas": REPLICAS, "fragments": FRAGMENTS},
+        "joins_curve": joins_rows,
+        "sites_curve": sites_rows,
+        "sweep": sweep_row,
+        "eight_join_32_site": {
+            "workers": accept_workers,
+            "speedup": accept_speedup,
+            "target": SPEEDUP_TARGET,
+            "gate_enforced": gate_enforced,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for row in joins_rows + sites_rows + [sweep_row]:
+        parts = "  ".join(
+            f"w{workers} {entry['best_s'] * 1e3:8.1f} ms "
+            f"({entry['speedup']:4.2f}x)"
+            for workers, entry in row["workers"].items()
+        )
+        print(
+            f"{row['case']:>18}: serial {row['serial_s'] * 1e3:8.1f} ms  "
+            f"{parts}"
+        )
+    print(f"cpus={cpus}; wrote {OUTPUT}")
+    if gate_enforced and accept_speedup < SPEEDUP_TARGET:
+        raise SystemExit(
+            f"8-join/32-site speedup {accept_speedup:.2f}x "
+            f"(workers={accept_workers}) below the "
+            f"{SPEEDUP_TARGET:.0f}x target"
+        )
+    if not gate_enforced:
+        print(
+            f"note: {cpus} cpu(s) < {MIN_CPUS_FOR_GATE}; "
+            f"speedup gate recorded but not enforced"
+        )
+
+
+if __name__ == "__main__":
+    main()

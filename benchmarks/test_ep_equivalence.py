@@ -1,0 +1,147 @@
+"""Parallel-vs-serial byte-equivalence across the experiment axes.
+
+The parallel trading engine's contract (``docs/PARALLEL.md``): with any
+worker count the negotiation produces *byte-identical* results — same
+plans (down to the offer ids in ``explain()``), same costs, same
+simulated optimization time, same message counts, same offer-cache
+hit/miss/eviction statistics.  This sweep checks workers ∈ {1, 4} over
+worlds spanning the E1–E11 axes (joins, federation size, fragmentation,
+replication, plan-generator mode), plus a faulty run under the example
+fault plan (drops, duplicates, and deadline machinery engaged).  The
+fast tier-1 variant in ``tests/test_parallel.py`` covers one config.
+"""
+
+import itertools
+import pathlib
+
+import repro.trading.commodity as commodity
+from repro.bench.harness import build_world, run_qt, run_qt_faulty
+from repro.faults import FaultPlan
+from repro.trading import OfferCache
+from repro.workload import chain_query
+
+FAULT_PLAN = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "examples"
+    / "fault_plan.json"
+)
+
+# (nodes, n_relations, fragments, replicas, joins, mode) — one axis
+# varied at a time around the E1–E11 defaults.
+CONFIGS = [
+    (12, 7, 4, 2, 4, "dp"),     # E1/E2 midpoint
+    (12, 7, 4, 2, 6, "idp"),    # wider query, IDP generator
+    (25, 4, 5, 2, 3, "idp"),    # E3 federation size
+    (16, 3, 8, 2, 2, "dp"),     # E4 fine fragmentation
+    (12, 4, 4, 1, 3, "dp"),     # E7 no replication
+    (12, 4, 4, 3, 3, "dp"),     # E7 triple replication
+]
+
+COMPARED_FIELDS = (
+    "found",
+    "plan_cost",
+    "optimization_time",
+    "messages",
+    "iterations",
+    "offers",
+    "payments",
+    "cache_hits",
+    "cache_misses",
+    "plan_explain",
+)
+
+FAULT_FIELDS = COMPARED_FIELDS + (
+    "dropped",
+    "duplicated",
+    "retried",
+    "timeouts",
+    "renegotiations",
+)
+
+
+def _signature(measurement, fields=COMPARED_FIELDS):
+    return {field: getattr(measurement, field) for field in fields}
+
+
+def _measure(config, workers):
+    nodes, n_relations, fragments, replicas, joins, mode = config
+    # Offer ids come from a module-global counter; reset it so runs mint
+    # identical ids and explain() strings are comparable byte-for-byte.
+    commodity._offer_ids = itertools.count(1)
+    world = build_world(
+        nodes=nodes, n_relations=n_relations, fragments=fragments,
+        replicas=replicas, seed=7,
+    )
+    query = chain_query(joins, selection_cat=3)
+    # A fresh cache per run: the equivalence claim covers cache contents
+    # and statistics, so both runs must start cold.
+    measurement = run_qt(
+        world, query, mode=mode, workers=workers,
+        offer_cache=OfferCache(),
+    )
+    return _signature(measurement)
+
+
+def test_parallel_equivalence_sweep():
+    for config in CONFIGS:
+        serial = _measure(config, workers=1)
+        parallel = _measure(config, workers=4)
+        assert serial == parallel, (
+            f"workers=4 diverged from serial on config {config}: "
+            f"{ {k: (serial[k], parallel[k]) for k in serial if serial[k] != parallel[k]} }"
+        )
+
+
+def test_parallel_equivalence_low_dp_threshold():
+    """Force the partitioned buyer DP on even for small frontiers."""
+    from repro.trading import BiddingProtocol, BuyerPlanGenerator, QueryTrader
+    from repro.net import Network
+    from repro.parallel import OfferFarm
+
+    def run(workers, threshold):
+        commodity._offer_ids = itertools.count(1)
+        world = build_world(nodes=12, n_relations=7, seed=7)
+        query = chain_query(5, selection_cat=3)
+        network = Network(world.model)
+        protocol = BiddingProtocol()
+        if workers > 1:
+            protocol.attach_farm(OfferFarm(workers))
+        plangen = BuyerPlanGenerator(
+            world.builder, "client", workers=workers,
+            parallel_threshold=threshold,
+        )
+        trader = QueryTrader(
+            "client", world.seller_agents(offer_cache=OfferCache()),
+            network, plangen, protocol=protocol,
+        )
+        result = trader.optimize(query)
+        return (
+            result.found, result.best.plan.explain(), result.best.value,
+            result.optimization_time, result.messages.messages,
+            result.cache.hits, result.cache.misses,
+        )
+
+    assert run(1, 512) == run(4, 1)
+
+
+def test_faulty_parallel_equivalence():
+    def run(workers):
+        commodity._offer_ids = itertools.count(1)
+        world = build_world(nodes=12, n_relations=7, seed=7)
+        query = chain_query(4, selection_cat=3)
+        fault_plan = FaultPlan.from_file(str(FAULT_PLAN))
+        measurement = run_qt_faulty(
+            world, query, fault_plan, timeout=0.05, mode="dp",
+            workers=workers, offer_cache=OfferCache(),
+        )
+        return _signature(measurement, FAULT_FIELDS)
+
+    serial = run(1)
+    parallel = run(4)
+    assert serial == parallel, {
+        k: (serial[k], parallel[k])
+        for k in serial
+        if serial[k] != parallel[k]
+    }
+    # The fault machinery actually engaged — this is not a vacuous pass.
+    assert serial["dropped"] > 0 or serial["duplicated"] > 0

@@ -156,6 +156,9 @@ class Measurement:
     timeouts: int = 0
     renegotiations: int = 0
     degradation: float | None = None  # vs the fault-free reference cost
+    # Rendered plan (``explain()``), when one was found.  The
+    # parallel-vs-serial equivalence suites compare it byte-for-byte.
+    plan_explain: str | None = None
 
     def row(self) -> list:
         return [
@@ -177,9 +180,14 @@ def run_qt(
     valuation=None,
     max_iterations: int = 6,
     subcontracting: bool = False,
+    workers: int = 1,
     **agent_kwargs,
 ) -> Measurement:
-    """Run the QT optimizer over a fresh network; return its measurement."""
+    """Run the QT optimizer over a fresh network; return its measurement.
+
+    ``workers > 1`` engages the parallel trading engine (offer farm +
+    partitioned buyer DP); results are byte-identical to ``workers=1``.
+    """
     from repro.trading import Subcontractor
 
     network = Network(world.model)
@@ -190,8 +198,14 @@ def run_qt(
             agent.subcontractor.connect(
                 {m: peer for m, peer in sellers.items() if m != node}, network
             )
+    if workers > 1:
+        from repro.parallel import OfferFarm
+
+        protocol = (protocol or BiddingProtocol()).attach_farm(
+            OfferFarm(workers)
+        )
     plangen = BuyerPlanGenerator(
-        world.builder, BUYER, mode=mode, valuation=valuation
+        world.builder, BUYER, mode=mode, valuation=valuation, workers=workers
     )
     trader = QueryTrader(
         BUYER,
@@ -216,6 +230,7 @@ def run_qt(
         payments=result.total_payment,
         cache_hits=result.cache.hits,
         cache_misses=result.cache.misses,
+        plan_explain=result.best.plan.explain() if result.found else None,
     )
 
 
@@ -231,6 +246,7 @@ def run_qt_faulty(
     baseline_cost: float | None = None,
     policy: RenegotiationPolicy | None = None,
     max_iterations: int = 6,
+    workers: int = 1,
     **agent_kwargs,
 ) -> Measurement:
     """Run QT under *fault_plan* with the full resilience stack engaged.
@@ -246,15 +262,22 @@ def run_qt_faulty(
     injector = FaultInjector(fault_plan)
     network.install_faults(injector)
     sellers = world.seller_agents(None, **agent_kwargs)
-    plangen = BuyerPlanGenerator(world.builder, BUYER, mode=mode)
+    protocol = BiddingProtocol(
+        timeout=timeout, max_retries=max_retries, backoff=backoff
+    )
+    if workers > 1:
+        from repro.parallel import OfferFarm
+
+        protocol.attach_farm(OfferFarm(workers))
+    plangen = BuyerPlanGenerator(
+        world.builder, BUYER, mode=mode, workers=workers
+    )
     trader = QueryTrader(
         BUYER,
         sellers,
         network,
         plangen,
-        protocol=BiddingProtocol(
-            timeout=timeout, max_retries=max_retries, backoff=backoff
-        ),
+        protocol=protocol,
         max_iterations=max_iterations,
     )
     resilient = ResilientTrader(
@@ -279,6 +302,7 @@ def run_qt_faulty(
         timeouts=summary.timeouts_fired,
         renegotiations=summary.renegotiations,
         degradation=summary.degradation,
+        plan_explain=result.best.plan.explain() if result.found else None,
     )
 
 

@@ -101,6 +101,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=2,
         help="re-issues of an all-silent round (with --fault-plan)",
     )
+    trade.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the parallel trading engine "
+             "(offer farm + partitioned buyer DP); results are "
+             "byte-identical to --workers 1",
+    )
 
     telecom = sub.add_parser(
         "telecom", help="run the paper's motivating telecom scenario"
@@ -116,6 +122,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("ids", nargs="*", help="experiment ids")
     experiment.add_argument("--all", action="store_true",
                             help="run the whole suite")
+    experiment.add_argument(
+        "--workers", type=int, default=1,
+        help="run experiments in parallel worker processes; tables are "
+             "printed in id order and identical to a serial run",
+    )
 
     sub.add_parser("list-experiments", help="list available experiments")
     return parser
@@ -145,14 +156,25 @@ def _cmd_trade(args: argparse.Namespace) -> int:
             return 2
         injector = FaultInjector(fault_plan)
         network.install_faults(injector)
+    if injector:
+        protocol = BiddingProtocol(
+            timeout=args.timeout, max_retries=args.max_retries
+        )
+    else:
+        protocol = BiddingProtocol()
+    if args.workers > 1:
+        from repro.parallel import OfferFarm
+
+        protocol.attach_farm(OfferFarm(args.workers))
     trader = QueryTrader(
         "client",
         world.seller_agents(),
         network,
-        BuyerPlanGenerator(world.builder, "client", mode=args.plangen),
-        protocol=BiddingProtocol(
-            timeout=args.timeout, max_retries=args.max_retries
-        ) if injector else None,
+        BuyerPlanGenerator(
+            world.builder, "client", mode=args.plangen,
+            workers=args.workers,
+        ),
+        protocol=protocol,
     )
     if injector is not None:
         result = ResilientTrader(trader, injector).optimize(query)
@@ -224,6 +246,15 @@ def _cmd_telecom(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_experiment(experiment_id: str) -> str:
+    """Run one registered experiment and render its table.
+
+    Module-level so the parallel experiment runner can ship it to
+    worker processes by reference.
+    """
+    return EXPERIMENTS[experiment_id]().render()
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = [i.upper() for i in args.ids]
     if args.all:
@@ -235,9 +266,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         return 2
+    workers = getattr(args, "workers", 1)
+    if workers > 1 and len(ids) > 1:
+        # Each experiment is self-contained (fresh worlds, fresh
+        # networks), so whole experiments farm out cleanly; tables are
+        # printed in id order regardless of completion order.
+        from repro.parallel import get_pool
+
+        try:
+            pool = get_pool(min(workers, len(ids)))
+            futures = [pool.submit(_render_experiment, i) for i in ids]
+            for future in futures:
+                print(future.result())
+                print()
+            return 0
+        except Exception as exc:  # pool unavailable: run serially
+            print(f"parallel run unavailable ({exc}); running serially",
+                  file=sys.stderr)
     for experiment_id in ids:
-        table = EXPERIMENTS[experiment_id]()
-        print(table.render())
+        print(_render_experiment(experiment_id))
         print()
     return 0
 

@@ -1,0 +1,32 @@
+"""Parallel trading engine: process-pool layers over the QT simulator.
+
+Three independent layers, all preserving byte-identical results versus
+serial execution (see ``docs/PARALLEL.md`` for the determinism
+contract):
+
+* :class:`~repro.parallel.offer_farm.OfferFarm` — computes each
+  negotiation round's independent seller offers in worker processes and
+  hands them back at the exact simulation points the serial code would
+  have computed them.
+* The partitioned buyer DP — ``BuyerPlanGenerator(workers=N)`` splits
+  the 2-way sub-plan frontier across workers (Trummer–Koch style
+  plan-space partitioning) and reduces with the existing pruning rules.
+* :func:`~repro.parallel.sweeps.run_sweep` — executes independent
+  (world, query, axis-point) benchmark measurements concurrently with
+  job-stable result ordering.
+"""
+
+from repro.parallel.offer_farm import OfferFarm, RoundPrefetch
+from repro.parallel.pool import available_cpus, get_pool, shutdown_pools
+from repro.parallel.sweeps import RUNNERS, SweepJob, run_sweep
+
+__all__ = [
+    "OfferFarm",
+    "RoundPrefetch",
+    "RUNNERS",
+    "SweepJob",
+    "available_cpus",
+    "get_pool",
+    "run_sweep",
+    "shutdown_pools",
+]

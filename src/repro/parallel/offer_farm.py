@@ -1,0 +1,263 @@
+"""Process-pool fan-out of one negotiation round's seller work.
+
+Within a round the sellers are independent: each ``prepare_offers`` call
+reads only the agent's own catalog, strategy, and offer-cache slice.
+:class:`OfferFarm` exploits that by computing every seller's offers in
+worker processes *before* the round's RFBs are delivered, then handing
+each result back at the exact simulation point the serial code would
+have computed it.  The negotiation itself — message timing, simulated
+compute, protocol state — is untouched, which is what makes parallel
+runs byte-identical to serial ones.
+
+Determinism contract
+--------------------
+* **Offer ids.**  Serially, ids are minted from the module-global
+  counter in RFB delivery order.  Workers reseed their (process-local)
+  counter to zero so every offer carries its *creation index*; at
+  consume time the parent mints exactly ``total_created`` ids from the
+  real counter and maps index ``i`` to ``base + i``.  Gaps from the
+  seller's dedupe pass are reproduced exactly.
+* **Cache stats and contents.**  Each worker gets an isolated,
+  effectively unbounded snapshot of its seller's slice of the shared
+  :class:`~repro.trading.cache.OfferCache` (keys embed the site, so the
+  slice is exactly what the seller could touch).  Hit/miss deltas and
+  newly stored entries ship back; the parent adds the deltas and
+  replays the stores in order at consume time.  If replaying *any*
+  seller's stores could push a cache past capacity — the one case where
+  FIFO eviction could interleave differently than serial — every batch
+  sharing that cache is invalidated and those sellers run serially.
+* **Faults.**  A dropped RFB simply leaves its batch unconsumed (no ids
+  minted, no cache merge — as if the seller was never asked).  A
+  duplicated delivery finds the batch already consumed and falls back
+  to a real ``prepare_offers`` call, matching serial's second
+  invocation (which hits the now-warm cache).
+* **Fallbacks.**  Subcontracting sellers hold live network references
+  and trade with peers mid-call; the farm refuses to prefetch such
+  rounds entirely.  Pool or pickling failures likewise degrade to
+  serial.  Every fallback path *is* the serial path, so equivalence
+  never depends on the farm succeeding.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Mapping
+
+import repro.trading.commodity as commodity
+from repro.parallel.pool import get_pool
+from repro.trading.cache import CacheStats
+from repro.trading.commodity import Offer, RequestForBids
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trading.seller import SellerAgent
+
+__all__ = ["OfferFarm", "RoundPrefetch"]
+
+
+def _prepare_worker(agent: "SellerAgent", rfb: RequestForBids):
+    """Run one seller's round in a worker process.
+
+    Returns ``(offers, total_created, work, stored, stats)`` where
+    offers carry creation indices (0-based) instead of real offer ids.
+    The id counter is reseeded per seller, so indices are relative to
+    each seller's own batch no matter how sellers are grouped into
+    pool tasks.
+    """
+    commodity._offer_ids = itertools.count(0)
+    cache = agent.offer_cache
+    before = set(cache._entries) if cache is not None else set()
+    offers, work = agent.prepare_offers(rfb)
+    total_created = next(commodity._offer_ids)
+    stored: list[tuple] = []
+    stats = CacheStats()
+    if cache is not None:
+        stored = [
+            (key, result)
+            for key, result in cache._entries.items()
+            if key not in before
+        ]
+        stats = cache.stats
+    return offers, total_created, work, stored, stats
+
+
+def _prepare_chunk(agents: Mapping[str, "SellerAgent"], rfb: RequestForBids):
+    """Run several sellers' rounds in one worker process.
+
+    Grouping sellers into one pool task per worker (instead of one per
+    seller) ships the shared :class:`~repro.optimizer.PlanBuilder` once
+    per chunk — pickle's reference sharing serializes it a single time
+    for the whole payload — and cuts task-dispatch overhead from
+    O(sellers) to O(workers).
+    """
+    return {node: _prepare_worker(agent, rfb) for node, agent in agents.items()}
+
+
+@dataclass
+class _Batch:
+    """One seller's precomputed round, awaiting consumption."""
+
+    offers: list[Offer]
+    total_created: int
+    work: float
+    stored: list[tuple]
+    stats: CacheStats
+    valid: bool = True
+
+
+@dataclass
+class FarmStats:
+    """Observability counters (do not affect behavior)."""
+
+    rounds_prefetched: int = 0
+    rounds_serial: int = 0
+    batches_consumed: int = 0
+    batches_discarded: int = 0
+    serial_fallbacks: int = 0
+
+
+class RoundPrefetch:
+    """Precomputed seller batches for exactly one RFB."""
+
+    def __init__(
+        self, rfb: RequestForBids, batches: dict[str, _Batch], stats: FarmStats
+    ):
+        self._rfb = rfb
+        self._batches = batches
+        self._stats = stats
+        self._consumed: set[str] = set()
+
+    def consume(
+        self, node: str, agent: "SellerAgent", rfb: RequestForBids
+    ) -> tuple[list[Offer], float] | None:
+        """This seller's precomputed ``(offers, work)``, or ``None``.
+
+        ``None`` means "compute serially": the batch is missing,
+        invalidated, for a different RFB, or already consumed (a
+        fault-duplicated delivery — the repeat call must really run so
+        it observes the warmed cache exactly as serial would).
+        """
+        if rfb is not self._rfb or node in self._consumed:
+            self._stats.serial_fallbacks += 1
+            return None
+        batch = self._batches.get(node)
+        if batch is None or not batch.valid:
+            self._stats.serial_fallbacks += 1
+            return None
+        self._consumed.add(node)
+        cache = agent.offer_cache
+        if cache is not None:
+            cache.stats.add(batch.stats)
+            for key, result in batch.stored:
+                cache.store(key, result)
+        offers = batch.offers
+        if batch.total_created:
+            base = commodity.next_offer_id()
+            for _ in range(batch.total_created - 1):
+                commodity.next_offer_id()
+            offers = [
+                replace(offer, offer_id=base + offer.offer_id)
+                for offer in offers
+            ]
+        self._stats.batches_consumed += 1
+        return offers, batch.work
+
+    def discard(self) -> None:
+        """Account for batches the round never consumed (dropped RFBs)."""
+        self._stats.batches_discarded += len(
+            set(self._batches) - self._consumed
+        )
+
+
+class OfferFarm:
+    """Fans a round's independent ``prepare_offers`` calls over a pool."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.stats = FarmStats()
+
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        sellers: Mapping[str, "SellerAgent"],
+        rfb: RequestForBids,
+        exclude: str | None = None,
+    ) -> RoundPrefetch | None:
+        """Precompute every seller's offers for *rfb*, or ``None``.
+
+        ``None`` (serial round) when: one worker, fewer than two
+        sellers, any seller subcontracts, or the pool/pickling fails.
+        """
+        nodes = sorted(node for node in sellers if node != exclude)
+        if self.workers <= 1 or len(nodes) < 2:
+            self.stats.rounds_serial += 1
+            return None
+        if any(sellers[node].subcontractor is not None for node in nodes):
+            self.stats.rounds_serial += 1
+            return None
+        try:
+            pool = get_pool(self.workers)
+            worker_agents = {}
+            for node in nodes:
+                agent = sellers[node]
+                worker_agent = copy.copy(agent)
+                worker_agent.subcontractor = None
+                if agent.offer_cache is not None:
+                    worker_agent.offer_cache = (
+                        agent.offer_cache.snapshot_for_site(agent.node)
+                    )
+                worker_agents[node] = worker_agent
+            # One chunk per worker (round-robin for balance): the shared
+            # plan builder pickles once per chunk, not once per seller.
+            chunks = [
+                nodes[i :: self.workers] for i in range(self.workers)
+            ]
+            futures = [
+                pool.submit(
+                    _prepare_chunk,
+                    {node: worker_agents[node] for node in chunk},
+                    rfb,
+                )
+                for chunk in chunks
+                if chunk
+            ]
+            batches = {}
+            for future in futures:
+                for node, parts in future.result().items():
+                    batches[node] = _Batch(*parts)
+        except Exception:
+            self.stats.rounds_serial += 1
+            return None
+        self._enforce_capacity(sellers, batches)
+        self.stats.rounds_prefetched += 1
+        return RoundPrefetch(rfb, batches, self.stats)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _enforce_capacity(
+        sellers: Mapping[str, "SellerAgent"], batches: dict[str, _Batch]
+    ) -> None:
+        """Invalidate batches whose replay could trigger FIFO eviction.
+
+        Serially, an eviction interleaves with the round's own lookups;
+        replay at consume time cannot reproduce that interleaving, so
+        any cache that would cross capacity demotes *all* its sellers
+        to the serial path for this round.
+        """
+        groups: dict[int, list[str]] = {}
+        caches: dict[int, object] = {}
+        for node in batches:
+            cache = sellers[node].offer_cache
+            if cache is None:
+                continue
+            groups.setdefault(id(cache), []).append(node)
+            caches[id(cache)] = cache
+        for cache_id, nodes in groups.items():
+            cache = caches[cache_id]
+            pending = sum(len(batches[node].stored) for node in nodes)
+            if len(cache) + pending > cache.max_entries:
+                for node in nodes:
+                    batches[node].valid = False

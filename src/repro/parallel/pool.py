@@ -1,0 +1,63 @@
+"""Shared process-pool plumbing for the parallel trading engine.
+
+One :class:`~concurrent.futures.ProcessPoolExecutor` per worker count,
+created lazily and reused for the life of the process: the offer farm,
+the partitioned buyer DP, and the sweep runner all fan out many small
+task batches, so paying pool start-up once instead of per negotiation
+round is what makes parallelism worth its IPC tax.
+
+The ``fork`` start method is preferred (cheap worker start, inherited
+module state); platforms without it fall back to the default context.
+Workers must nevertheless treat inherited globals as stale — e.g. the
+offer-id counter is explicitly reseeded per task (see
+``repro.parallel.offer_farm``).
+
+All pools are shut down at interpreter exit.  Callers should treat any
+exception from :func:`get_pool` or a submitted future as "parallelism
+unavailable" and fall back to their serial path — the equivalence
+contract makes the fallback free of behavioral change.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["available_cpus", "get_pool", "shutdown_pools"]
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def available_cpus() -> int:
+    """Usable CPU count (1 when undetectable)."""
+    return os.cpu_count() or 1
+
+
+def _context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor for *workers* processes (created on demand)."""
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=_context())
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every pool created so far (idempotent)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)

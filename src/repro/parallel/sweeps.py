@@ -1,0 +1,115 @@
+"""Parallel execution of independent benchmark measurements.
+
+The experiment suite is mostly a grid of *(world parameters, query,
+runner)* points whose measurements never interact: each point builds a
+fresh federation, a fresh network, and a fresh trader.  The only shared
+mutable state is the module-global offer-id counter — which affects
+``explain()`` strings, not measured quantities — so each job reseeds it
+and becomes fully self-contained.  That makes the sweep embarrassingly
+parallel *and* seed-stable: :func:`run_sweep` returns measurements in
+job order regardless of worker count or completion order, and running
+with ``workers=1`` executes the identical per-job code in-process.
+
+Jobs must be picklable descriptions, not live objects: a
+:class:`SweepJob` names a registered runner and carries plain kwargs for
+``build_world`` and ``chain_query``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import repro.trading.commodity as commodity
+from repro.parallel.pool import get_pool
+
+__all__ = ["SweepJob", "RUNNERS", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One self-contained (world, query, runner) measurement point."""
+
+    label: str
+    runner: str  # key into RUNNERS
+    world: dict = field(default_factory=dict)  # build_world kwargs
+    query: dict = field(default_factory=dict)  # chain_query kwargs
+    run: dict = field(default_factory=dict)  # runner kwargs
+
+    def __post_init__(self) -> None:
+        if self.runner not in RUNNERS:
+            raise ValueError(
+                f"unknown runner {self.runner!r}; "
+                f"registered: {sorted(RUNNERS)}"
+            )
+
+
+def _runners() -> dict[str, Callable]:
+    # Imported lazily: bench.harness itself imports repro.parallel.
+    from repro.bench import harness
+
+    return {
+        "qt": harness.run_qt,
+        "qt_faulty": harness.run_qt_faulty,
+        "distdp": harness.run_distdp,
+        "distidp": harness.run_distidp,
+        "mariposa": harness.run_mariposa,
+    }
+
+
+class _RunnerRegistry(dict):
+    """Lazily populated runner table (extendable by callers)."""
+
+    def _fill(self) -> None:
+        for key, runner in _runners().items():
+            dict.setdefault(self, key, runner)
+
+    def __missing__(self, key):
+        self._fill()
+        return dict.__getitem__(self, key)
+
+    def __contains__(self, key) -> bool:
+        if dict.__contains__(self, key):
+            return True
+        self._fill()
+        return dict.__contains__(self, key)
+
+    def keys(self):
+        self._fill()
+        return dict.keys(self)
+
+
+RUNNERS: dict[str, Callable] = _RunnerRegistry()
+
+
+def run_job(job: SweepJob):
+    """Execute one job from scratch (fresh world, reseeded offer ids)."""
+    from repro.bench.harness import build_world
+    from repro.workload import chain_query
+
+    commodity._offer_ids = itertools.count(1)
+    world = build_world(**job.world)
+    query = chain_query(**job.query)
+    measurement = RUNNERS[job.runner](world, query, **job.run)
+    measurement.optimizer = job.label or measurement.optimizer
+    return measurement
+
+
+def run_sweep(jobs: Sequence[SweepJob], workers: int = 1) -> list:
+    """All jobs' measurements, in job order.
+
+    With ``workers > 1`` the jobs run concurrently in the shared process
+    pool; results are gathered in submission order, so the output is
+    identical to the serial run (same jobs, same order, same values).
+    Pool failures fall back to in-process execution.
+    """
+    jobs = list(jobs)
+    if workers <= 1 or len(jobs) < 2:
+        return [run_job(job) for job in jobs]
+    try:
+        pool = get_pool(min(workers, len(jobs)))
+        futures = [pool.submit(run_job, job) for job in jobs]
+        return [future.result() for future in futures]
+    except Exception:
+        return [run_job(job) for job in jobs]

@@ -19,7 +19,12 @@ sit three analysis utilities that the rest of the system relies on:
 * :meth:`Expr.simplify` — constant folding and contradiction detection.
 
 All expression objects are immutable and hashable so they can be used as
-dictionary keys throughout the optimizer.
+dictionary keys throughout the optimizer.  Compound nodes cache their
+structural hash and their ``columns()`` set after the first computation
+(recursive recomputation otherwise dominates the dict-keyed hot paths in
+the buyer DP and the seller offer cache); the caches are dropped when an
+expression is pickled, because ``hash(str)`` is salted per process and a
+shipped hash would be wrong in the receiving worker.
 """
 
 from __future__ import annotations
@@ -70,6 +75,12 @@ _NEGATED_OP = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
 _FLIPPED_OP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
+#: Per-instance memo attributes that must never travel across processes:
+#: cached hashes embed salted string hashes, and the columns frozenset is
+#: cheaper to rebuild than to ship.
+_EXPR_CACHE_ATTRS = ("_hash_memo", "_columns_memo")
+
+
 class Expr:
     """Base class for all boolean/scalar expressions."""
 
@@ -79,6 +90,31 @@ class Expr:
     def columns(self) -> frozenset["Column"]:
         """All columns referenced anywhere in this expression."""
         raise NotImplementedError
+
+    def _columns(self) -> frozenset["Column"]:
+        """Memoizing wrapper used by the compound nodes' ``columns()``."""
+        memo = self.__dict__.get("_columns_memo")
+        if memo is None:
+            memo = self._compute_columns()
+            object.__setattr__(self, "_columns_memo", memo)
+        return memo
+
+    def _compute_columns(self) -> frozenset["Column"]:
+        raise NotImplementedError
+
+    def _hash(self, parts: tuple) -> int:
+        """Memoizing hash helper; *parts* must mirror the eq fields."""
+        memo = self.__dict__.get("_hash_memo")
+        if memo is None:
+            memo = hash(parts)
+            object.__setattr__(self, "_hash_memo", memo)
+        return memo
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for attr in _EXPR_CACHE_ATTRS:
+            state.pop(attr, None)
+        return state
 
     def tables(self) -> frozenset[str]:
         """Aliases of all relations referenced in this expression."""
@@ -211,7 +247,13 @@ class Comparison(Expr):
         if self.op not in _OPS:
             raise ValueError(f"unknown comparison operator {self.op!r}")
 
+    def __hash__(self) -> int:
+        return self._hash(("Comparison", self.op, self.left, self.right))
+
     def columns(self) -> frozenset[Column]:
+        return self._columns()
+
+    def _compute_columns(self) -> frozenset[Column]:
         return self.left.columns() | self.right.columns()
 
     def rename_tables(self, mapping: Mapping[str, str]) -> "Comparison":
@@ -275,7 +317,13 @@ class InList(Expr):
         if not isinstance(self.values, frozenset):
             object.__setattr__(self, "values", frozenset(self.values))
 
+    def __hash__(self) -> int:
+        return self._hash(("InList", self.col, self.values))
+
     def columns(self) -> frozenset[Column]:
+        return self._columns()
+
+    def _compute_columns(self) -> frozenset[Column]:
         return frozenset((self.col,))
 
     def rename_tables(self, mapping: Mapping[str, str]) -> "InList":
@@ -319,7 +367,13 @@ class And(Expr):
     def __post_init__(self) -> None:
         object.__setattr__(self, "children", _flatten(And, self.children))
 
+    def __hash__(self) -> int:
+        return self._hash(("And", self.children))
+
     def columns(self) -> frozenset[Column]:
+        return self._columns()
+
+    def _compute_columns(self) -> frozenset[Column]:
         cols: frozenset[Column] = frozenset()
         for child in self.children:
             cols |= child.columns()
@@ -379,7 +433,13 @@ class Or(Expr):
     def __post_init__(self) -> None:
         object.__setattr__(self, "children", _flatten(Or, self.children))
 
+    def __hash__(self) -> int:
+        return self._hash(("Or", self.children))
+
     def columns(self) -> frozenset[Column]:
+        return self._columns()
+
+    def _compute_columns(self) -> frozenset[Column]:
         cols: frozenset[Column] = frozenset()
         for child in self.children:
             cols |= child.columns()
@@ -424,7 +484,13 @@ class Not(Expr):
 
     child: Expr
 
+    def __hash__(self) -> int:
+        return self._hash(("Not", self.child))
+
     def columns(self) -> frozenset[Column]:
+        return self._columns()
+
+    def _compute_columns(self) -> frozenset[Column]:
         return self.child.columns()
 
     def rename_tables(self, mapping: Mapping[str, str]) -> "Not":
@@ -483,6 +549,17 @@ class _Bool(Expr):
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, _Bool) and other.value == self.value
+
+    def __reduce__(self):
+        # TRUE/FALSE are singletons compared with ``is`` throughout the
+        # optimizer; unpickling must hand back the process-local
+        # singleton, never a fresh _Bool (a copy would silently change
+        # costing decisions like ``selection is not TRUE`` in workers).
+        return (_bool_singleton, (self.value,))
+
+
+def _bool_singleton(value: bool) -> "_Bool":
+    return TRUE if value else FALSE
 
 
 TRUE = _Bool(True)

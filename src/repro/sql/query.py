@@ -270,8 +270,22 @@ class SPJQuery:
         )
 
     def key(self) -> str:
-        """A canonical string identity; equal iff canonically equal."""
-        return self.canonical().sql()
+        """A canonical string identity; equal iff canonically equal.
+
+        Canonicalization re-sorts the FROM list and every conjunct, so
+        the result is memoized — the trading layers key caches and
+        dedupe sets on it in hot loops.
+        """
+        memo = self.__dict__.get("_key_memo")
+        if memo is None:
+            memo = self.canonical().sql()
+            object.__setattr__(self, "_key_memo", memo)
+        return memo
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_key_memo", None)
+        return state
 
     # ------------------------------------------------------------------
     # Rendering

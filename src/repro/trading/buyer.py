@@ -41,7 +41,12 @@ from repro.optimizer.plans import Plan, PlanBuilder, Purchased
 from repro.sql.expr import Expr, TRUE, conjoin, restriction_overlaps
 from repro.sql.query import Aggregate, SPJQuery
 from repro.sql.schema import PartitionScheme
-from repro.trading.commodity import AnswerProperties, Offer
+from repro.trading.commodity import (
+    AnswerProperties,
+    CoverageKey,
+    Offer,
+    coverage_key as _coverage_key,
+)
 from repro.trading.valuation import Valuation, WeightedValuation
 
 __all__ = [
@@ -54,14 +59,6 @@ __all__ = [
 RAW = "raw"
 FINAL = "final"
 
-CoverageKey = tuple[tuple[str, tuple[int, ...]], ...]
-
-
-def _coverage_key(coverage: Mapping[str, frozenset[int]]) -> CoverageKey:
-    return tuple(
-        (alias, tuple(sorted(fids))) for alias, fids in sorted(coverage.items())
-    )
-
 
 @dataclass
 class _Entry:
@@ -69,9 +66,14 @@ class _Entry:
     coverage: dict[str, frozenset[int]]
     form: str  # RAW or FINAL
     complete: bool = False  # covers every required fragment of its aliases
+    _key_memo: tuple[CoverageKey, str] | None = None
 
     def key(self) -> tuple[CoverageKey, str]:
-        return (_coverage_key(self.coverage), self.form)
+        # Coverage dicts are never mutated after construction (merges
+        # build fresh dicts), so the sorted key is computed once.
+        if self._key_memo is None:
+            self._key_memo = (_coverage_key(self.coverage), self.form)
+        return self._key_memo
 
 
 @dataclass(frozen=True)
@@ -115,9 +117,13 @@ class BuyerPlanGenerator:
         max_join_fanin: int = 12,
         union_budget: int = 400,
         seconds_per_plan: float = 5e-5,
+        workers: int = 1,
+        parallel_threshold: int = 512,
     ):
         if mode not in ("dp", "idp"):
             raise ValueError("mode must be 'dp' or 'idp'")
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self.builder = builder
         self.buyer_site = buyer_site
         self.valuation = valuation or WeightedValuation()
@@ -127,6 +133,12 @@ class BuyerPlanGenerator:
         self.max_join_fanin = max_join_fanin
         self.union_budget = union_budget
         self.seconds_per_plan = seconds_per_plan
+        #: Process-pool fan-out of the 2-way sub-plan frontier (the
+        #: widest DP level).  Results are byte-identical to serial; the
+        #: threshold (estimated join pairs at level 2) keeps small
+        #: queries off the IPC tax entirely.
+        self.workers = workers
+        self.parallel_threshold = parallel_threshold
 
     # ------------------------------------------------------------------
     def required_coverage(self, query: SPJQuery) -> dict[str, frozenset[int]]:
@@ -217,36 +229,20 @@ class BuyerPlanGenerator:
         query_connected = graph.is_connected
         by_size = graph.subsets_by_size(connected_only=query_connected)
         for size in range(2, graph.n + 1):
-            for mask in by_size[size]:
-                allow_cross = not (query_connected or graph.connected(mask))
-                for left, right in graph.splits(mask):
-                    left_entries = subsets.get(left)
-                    right_entries = subsets.get(right)
-                    if not left_entries or not right_entries:
-                        continue
-                    connecting = graph.connecting(left, right)
-                    if not connecting and not allow_cross:
-                        continue
-                    for le in self._join_participants(left_entries):
-                        for re_ in self._join_participants(right_entries):
-                            joined = self.builder.join(
-                                le.plan,
-                                re_.plan,
-                                connecting,
-                                alias_to_relation,
-                                site=self.buyer_site,
-                            )
-                            enumerated += 1
-                            coverage = {**le.coverage, **re_.coverage}
-                            entry = _Entry(
-                                plan=joined,
-                                coverage=coverage,
-                                form=RAW,
-                                complete=_is_complete(coverage, required),
-                            )
-                            self._add_entry(subsets, mask, entry)
-                enumerated += self._union_closure(subsets, mask, query, required)
-                self._prune(subsets, mask)
+            done_parallel = None
+            if size == 2 and self.workers > 1:
+                done_parallel = self._parallel_level2(
+                    subsets, by_size[2], graph, query, required,
+                    alias_to_relation, query_connected,
+                )
+            if done_parallel is not None:
+                enumerated += done_parallel
+            else:
+                for mask in by_size[size]:
+                    enumerated += self._level_block(
+                        subsets, mask, graph, query, required,
+                        alias_to_relation, query_connected,
+                    )
             if self.mode == "idp" and size == 2:
                 self._idp_prune(subsets, size)
 
@@ -267,6 +263,117 @@ class BuyerPlanGenerator:
         candidates.sort(key=lambda c: c.value)
         best = candidates[0] if candidates else None
         return PlanGenResult(best=best, candidates=candidates, enumerated=enumerated)
+
+    # ------------------------------------------------------------------
+    def _level_block(
+        self,
+        subsets: dict[int, dict[tuple, _Entry]],
+        mask: int,
+        graph: JoinGraph,
+        query: SPJQuery,
+        required: Mapping[str, frozenset[int]],
+        alias_to_relation: Mapping[str, str],
+        query_connected: bool,
+    ) -> int:
+        """One mask's DP step: joins over splits, union closure, prune.
+
+        At a given level the masks are independent — each reads only
+        strictly smaller buckets and writes only its own — which is what
+        the parallel level-2 path exploits.  Returns plans enumerated.
+        """
+        enumerated = 0
+        allow_cross = not (query_connected or graph.connected(mask))
+        for left, right in graph.splits(mask):
+            left_entries = subsets.get(left)
+            right_entries = subsets.get(right)
+            if not left_entries or not right_entries:
+                continue
+            connecting = graph.connecting(left, right)
+            if not connecting and not allow_cross:
+                continue
+            for le in self._join_participants(left_entries):
+                for re_ in self._join_participants(right_entries):
+                    joined = self.builder.join(
+                        le.plan,
+                        re_.plan,
+                        connecting,
+                        alias_to_relation,
+                        site=self.buyer_site,
+                    )
+                    enumerated += 1
+                    coverage = {**le.coverage, **re_.coverage}
+                    entry = _Entry(
+                        plan=joined,
+                        coverage=coverage,
+                        form=RAW,
+                        complete=_is_complete(coverage, required),
+                    )
+                    self._add_entry(subsets, mask, entry)
+        enumerated += self._union_closure(subsets, mask, query, required)
+        self._prune(subsets, mask)
+        return enumerated
+
+    def _parallel_level2(
+        self,
+        subsets: dict[int, dict[tuple, _Entry]],
+        masks: Sequence[int],
+        graph: JoinGraph,
+        query: SPJQuery,
+        required: Mapping[str, frozenset[int]],
+        alias_to_relation: Mapping[str, str],
+        query_connected: bool,
+    ) -> int | None:
+        """Fan the 2-way frontier across worker processes.
+
+        Returns the enumerated-plan count, or ``None`` to signal "run
+        serially" (frontier below the threshold, or pool failure).  The
+        parent merges worker buckets back in the frontier's own mask
+        order, so ``subsets`` ends up with exactly the serial dict —
+        same entries, same insertion order (``_idp_prune``'s stable sort
+        depends on it).
+        """
+        pairs = 0
+        for mask in masks:
+            for left, right in graph.splits(mask):
+                left_entries = subsets.get(left)
+                right_entries = subsets.get(right)
+                if left_entries and right_entries:
+                    pairs += len(left_entries) * len(right_entries)
+        if pairs < self.parallel_threshold:
+            return None
+        # Workers only need the buckets level 2 can read or extend:
+        # singletons and pre-seeded two-alias masks.
+        seed = {
+            mask: bucket
+            for mask, bucket in subsets.items()
+            if mask.bit_count() <= 2
+        }
+        chunks = [list(masks[i :: self.workers]) for i in range(self.workers)]
+        chunks = [chunk for chunk in chunks if chunk]
+        try:
+            from repro.parallel.pool import get_pool
+
+            pool = get_pool(self.workers)
+            futures = [
+                pool.submit(
+                    _level2_chunk_worker,
+                    self, seed, chunk, graph, query, required,
+                    alias_to_relation, query_connected,
+                )
+                for chunk in chunks
+            ]
+            merged: dict[int, tuple[dict, int]] = {}
+            for future in futures:
+                merged.update(future.result())
+        except Exception:
+            return None
+        enumerated = 0
+        for mask in masks:
+            bucket, count_ = merged[mask]
+            enumerated += count_
+            if bucket:
+                subsets[mask] = bucket
+        return enumerated
 
     # ------------------------------------------------------------------
     def _candidate(self, plan: Plan) -> CandidatePlan:
@@ -505,6 +612,34 @@ class BuyerPlanGenerator:
         level.sort(key=lambda item: self._entry_score(item[2]))
         for subset, key, _entry in level[self.idp_m :]:
             del subsets[subset][key]
+
+
+def _level2_chunk_worker(
+    generator: BuyerPlanGenerator,
+    seed: dict[int, dict[tuple, _Entry]],
+    masks: Sequence[int],
+    graph: JoinGraph,
+    query: SPJQuery,
+    required: Mapping[str, frozenset[int]],
+    alias_to_relation: Mapping[str, str],
+    query_connected: bool,
+) -> dict[int, tuple[dict[tuple, _Entry], int]]:
+    """Worker-side slice of the level-2 frontier.
+
+    Each mask's block reads only singleton buckets (plus its own seeded
+    bucket) and writes only its own, so masks within a chunk cannot
+    interact; the result per mask is exactly what the serial loop would
+    have left in ``subsets[mask]``.
+    """
+    subsets = dict(seed)
+    out: dict[int, tuple[dict[tuple, _Entry], int]] = {}
+    for mask in masks:
+        enumerated = generator._level_block(
+            subsets, mask, graph, query, required,
+            alias_to_relation, query_connected,
+        )
+        out[mask] = (subsets.get(mask, {}), enumerated)
+    return out
 
 
 def _plan_properties(plan: Plan) -> AnswerProperties:

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.cost.model import NodeCapabilities
 from repro.sql.query import SPJQuery
+from repro.trading.commodity import coverage_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.dp import DPResult
@@ -113,11 +114,7 @@ class OfferCache:
         optimizer_name: str,
     ) -> CacheKey:
         """Canonical cache key for one local optimization request."""
-        coverage_key = tuple(
-            (alias, tuple(sorted(fids)))
-            for alias, fids in sorted(coverage.items())
-        )
-        return (query.key(), coverage_key, site, caps, optimizer_name)
+        return (query.key(), coverage_key(coverage), site, caps, optimizer_name)
 
     def lookup(self, key: CacheKey) -> "DPResult | None":
         """The cached result for *key*, counting the hit or miss."""
@@ -140,3 +137,40 @@ class OfferCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Parallel-worker support (see repro.parallel.offer_farm)
+    # ------------------------------------------------------------------
+    def snapshot_for_site(self, site: str) -> "OfferCache":
+        """An independent copy holding only *site*'s entries.
+
+        Keys embed the seller site (index 2), so this is the exact slice
+        of the cache one seller can ever touch.  The copy is effectively
+        unbounded: workers never evict — capacity policy is enforced by
+        the parent when it replays the worker's stores.
+        """
+        clone = OfferCache(
+            hit_work_fraction=self.hit_work_fraction,
+            max_entries=2**31,
+        )
+        clone._entries = {
+            key: result
+            for key, result in self._entries.items()
+            if key[2] == site
+        }
+        return clone
+
+    def new_entries_since(
+        self, snapshot: "OfferCache"
+    ) -> list[tuple[CacheKey, "DPResult"]]:
+        """Entries stored after *snapshot* was taken, in store order.
+
+        Stores only ever happen after a miss (the key was absent), so the
+        delta is exactly the keys not present in the snapshot; dict
+        insertion order preserves the store order the parent must replay.
+        """
+        return [
+            (key, result)
+            for key, result in self._entries.items()
+            if key not in snapshot._entries
+        ]

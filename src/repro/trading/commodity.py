@@ -17,9 +17,41 @@ from typing import Mapping
 
 from repro.sql.query import SPJQuery
 
-__all__ = ["AnswerProperties", "Offer", "RequestForBids"]
+__all__ = [
+    "AnswerProperties",
+    "CoverageKey",
+    "Offer",
+    "RequestForBids",
+    "coverage_key",
+    "next_offer_id",
+]
 
 _offer_ids = itertools.count(1)
+
+
+def next_offer_id() -> int:
+    """Mint the next offer id from the module-global counter.
+
+    Indirect on purpose: tests (and the parallel offer farm) reseed
+    ``commodity._offer_ids`` for reproducible ids, so callers must read
+    the global at call time rather than bind the counter object once.
+    """
+    return next(_offer_ids)
+
+
+CoverageKey = tuple[tuple[str, tuple[int, ...]], ...]
+
+
+def coverage_key(coverage: Mapping[str, frozenset[int]]) -> CoverageKey:
+    """Canonical, hashable form of a fragment-coverage mapping.
+
+    The single source of truth for coverage identity — the seller's
+    dedupe, the trader's cross-round offer table, the buyer DP's entry
+    keys, and the offer cache all key on this shape.
+    """
+    return tuple(
+        (alias, tuple(sorted(fids))) for alias, fids in sorted(coverage.items())
+    )
 
 
 @dataclass(frozen=True)
@@ -79,6 +111,34 @@ class Offer:
     @property
     def aliases(self) -> frozenset[str]:
         return frozenset(self.coverage)
+
+    def coverage_key(self) -> CoverageKey:
+        """Cached canonical coverage identity (see :func:`coverage_key`).
+
+        Offers are frozen, so the sorted tuple is computed once; dedupe
+        passes that previously rebuilt it per comparison now reuse it.
+        """
+        memo = self.__dict__.get("_coverage_key_memo")
+        if memo is None:
+            memo = coverage_key(self.coverage)
+            object.__setattr__(self, "_coverage_key_memo", memo)
+        return memo
+
+    def dedupe_key(self) -> tuple:
+        """Identity for "same commodity" dedupe: one offer should survive
+        per (request, offered query, coverage, shape) regardless of which
+        seller round or pricing pass produced it."""
+        return (
+            self.request_key,
+            self.query.key(),
+            self.coverage_key(),
+            self.exact_projections,
+        )
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_coverage_key_memo", None)
+        return state
 
     def describe(self) -> str:
         cov = "; ".join(

@@ -420,15 +420,7 @@ def _dedupe(offers: list[Offer]) -> list[Offer]:
     """Keep one offer per (request, query, coverage): cheapest total time."""
     best: dict[tuple, Offer] = {}
     for offer in offers:
-        key = (
-            offer.request_key,
-            offer.query.key(),
-            tuple(
-                (alias, tuple(sorted(fids)))
-                for alias, fids in sorted(offer.coverage.items())
-            ),
-            offer.exact_projections,
-        )
+        key = offer.dedupe_key()
         current = best.get(key)
         if (
             current is None

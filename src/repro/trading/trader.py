@@ -228,10 +228,7 @@ class QueryTrader:
                 key = (
                     offer.seller,
                     offer.query.key(),
-                    tuple(
-                        (alias, tuple(sorted(fids)))
-                        for alias, fids in sorted(offer.coverage.items())
-                    ),
+                    offer.coverage_key(),
                     offer.exact_projections,
                 )
                 current = offers.get(key)

@@ -1,0 +1,200 @@
+"""Tier-1 coverage of the parallel trading engine (fast variants).
+
+The full axis sweep lives in ``benchmarks/test_ep_equivalence.py``;
+here one small federation checks each layer's byte-equivalence contract
+plus the supporting refactors (cached structural hashes, the shared
+coverage key, pickle hygiene for the optimizer's singletons).
+"""
+
+import itertools
+import pickle
+
+import repro.trading.commodity as commodity
+from repro.bench.harness import build_world, run_qt
+from repro.parallel import OfferFarm, SweepJob, run_sweep
+from repro.sql.expr import TRUE, FALSE, And, Column, Comparison, Literal
+from repro.sql.query import SPJQuery
+from repro.sql.schema import RelationRef
+from repro.trading import (
+    BuyerPlanGenerator,
+    OfferCache,
+    RequestForBids,
+    SellerAgent,
+)
+from repro.workload import chain_query
+
+
+def _small_world():
+    return build_world(nodes=8, n_relations=4, fragments=3, replicas=2, seed=7)
+
+
+def _trade_signature(workers: int):
+    commodity._offer_ids = itertools.count(1)
+    world = _small_world()
+    query = chain_query(3, selection_cat=3)
+    m = run_qt(world, query, workers=workers, offer_cache=OfferCache())
+    return (
+        m.found, m.plan_cost, m.optimization_time, m.messages, m.iterations,
+        m.offers, m.cache_hits, m.cache_misses, m.plan_explain,
+    )
+
+
+def test_workers2_trade_byte_identical():
+    assert _trade_signature(1) == _trade_signature(2)
+
+
+def test_partitioned_buyer_dp_equivalence():
+    commodity._offer_ids = itertools.count(1)
+    world = _small_world()
+    query = chain_query(4, selection_cat=3)
+    rfb = RequestForBids(buyer="client", queries=(query,), round_number=1)
+    offers = []
+    for node in world.nodes:
+        if node == "client":
+            continue
+        agent = SellerAgent(
+            world.catalog.local(node), world.builder, use_offer_cache=False
+        )
+        node_offers, _ = agent.prepare_offers(rfb)
+        offers.extend(node_offers)
+    serial = BuyerPlanGenerator(world.builder, "client").generate(query, offers)
+    # threshold=1 forces the process-pool path even for this tiny frontier
+    parallel = BuyerPlanGenerator(
+        world.builder, "client", workers=2, parallel_threshold=1
+    ).generate(query, offers)
+    assert serial.enumerated == parallel.enumerated
+    assert serial.best.plan.explain() == parallel.best.plan.explain()
+    assert [c.value for c in serial.candidates] == [
+        c.value for c in parallel.candidates
+    ]
+
+
+def test_offer_farm_round_matches_serial():
+    world = _small_world()
+    query = chain_query(3, selection_cat=3)
+    rfb = RequestForBids(buyer="client", queries=(query,), round_number=1)
+    sellers = world.seller_agents(offer_cache=OfferCache())
+
+    commodity._offer_ids = itertools.count(1)
+    serial = {}
+    for node in sorted(sellers):
+        serial[node] = sellers[node].prepare_offers(rfb)
+
+    commodity._offer_ids = itertools.count(1)
+    sellers2 = world.seller_agents(offer_cache=OfferCache())
+    farm = OfferFarm(workers=2)
+    prefetch = farm.prepare(sellers2, rfb, exclude="client")
+    assert prefetch is not None
+    for node in sorted(sellers2):
+        batch = prefetch.consume(node, sellers2[node], rfb)
+        assert batch is not None
+        offers, work = batch
+        ref_offers, ref_work = serial[node]
+        assert work == ref_work
+        assert [o.describe() for o in offers] == [
+            o.describe() for o in ref_offers
+        ]
+        # Second consume (a fault-duplicated delivery) must defer to the
+        # serial path.
+        assert prefetch.consume(node, sellers2[node], rfb) is None
+
+
+def test_offer_farm_serial_fallbacks():
+    world = _small_world()
+    query = chain_query(2, selection_cat=3)
+    rfb = RequestForBids(buyer="client", queries=(query,), round_number=1)
+    sellers = world.seller_agents()
+    assert OfferFarm(workers=1).prepare(sellers, rfb) is None
+    # Subcontracting sellers hold live network references: never farmed.
+    next(iter(sellers.values())).subcontractor = object()
+    assert OfferFarm(workers=2).prepare(sellers, rfb) is None
+
+
+def test_run_sweep_order_stable():
+    jobs = [
+        SweepJob(
+            label=f"qt-{joins}j",
+            runner="qt",
+            world={"nodes": 8, "n_relations": 4, "seed": 7},
+            query={"n_relations": joins, "selection_cat": 3},
+            run={"offer_cache": None, "use_offer_cache": False},
+        )
+        for joins in (2, 3, 2)
+    ]
+    serial = run_sweep(jobs, workers=1)
+    parallel = run_sweep(jobs, workers=2)
+    assert [m.optimizer for m in parallel] == ["qt-2j", "qt-3j", "qt-2j"]
+    assert [
+        (m.plan_cost, m.optimization_time, m.messages, m.plan_explain)
+        for m in serial
+    ] == [
+        (m.plan_cost, m.optimization_time, m.messages, m.plan_explain)
+        for m in parallel
+    ]
+
+
+def test_offer_cache_site_snapshot():
+    cache = OfferCache(max_entries=4)
+    key_a = ("q1", (("r0", (0,)),), "node1", None, "dp")
+    key_b = ("q1", (("r0", (0,)),), "node2", None, "dp")
+    cache.store(key_a, "result-a")
+    cache.store(key_b, "result-b")
+    snap = cache.snapshot_for_site("node1")
+    assert len(snap) == 1 and snap.lookup(key_a) == "result-a"
+    assert snap.stats.hits == 1 and cache.stats.hits == 0
+    snap.store(key_b[:2] + ("node1", None, "idp"), "result-c")
+    delta = snap.new_entries_since(cache.snapshot_for_site("node1"))
+    assert [entry[1] for entry in delta] == ["result-c"]
+
+
+def test_offer_coverage_key_cached_and_shared():
+    query = chain_query(2, selection_cat=3)
+    offer = commodity.Offer(
+        seller="node1",
+        query=query,
+        coverage={"r1": frozenset((1, 0)), "r0": frozenset((2,))},
+        properties=commodity.AnswerProperties(total_time=1.0, rows=10),
+        exact_projections=False,
+        request_key=query.key(),
+    )
+    key = offer.coverage_key()
+    assert key == (("r0", (2,)), ("r1", (0, 1)))
+    assert offer.coverage_key() is key  # memoized
+    assert commodity.coverage_key(offer.coverage) == key
+    assert offer.dedupe_key() == (
+        offer.request_key, offer.query.key(), key, False
+    )
+    # Memo must not ship across pickling (PYTHONHASHSEED hygiene rule).
+    assert "_coverage_key_memo" not in pickle.loads(
+        pickle.dumps(offer)
+    ).__dict__
+
+
+def test_expr_hash_memo_and_pickle_hygiene():
+    comparison = Comparison("=", Column("a", "x"), Literal(3))
+    assert hash(comparison) == hash(comparison)
+    assert "_hash_memo" in comparison.__dict__
+    conj = And((comparison, Comparison("=", Column("a", "y"), Column("b", "y"))))
+    assert conj.columns() is conj.columns()  # memoized frozenset
+    restored = pickle.loads(pickle.dumps(conj))
+    # Memos are process-local (string hashes are salted per process) and
+    # must not travel; they repopulate on first use.
+    assert "_hash_memo" not in restored.__dict__
+    assert "_columns_memo" not in restored.__dict__
+    assert restored == conj and hash(restored) == hash(conj)
+
+
+def test_bool_singletons_survive_pickle():
+    assert pickle.loads(pickle.dumps(TRUE)) is TRUE
+    assert pickle.loads(pickle.dumps(FALSE)) is FALSE
+
+
+def test_query_key_memoized():
+    query = SPJQuery(
+        relations=(RelationRef("R0", "r0"), RelationRef("R1", "r1")),
+        predicate=Comparison("=", Column("r0", "x"), Column("r1", "x")),
+    )
+    assert query.key() is query.key()
+    restored = pickle.loads(pickle.dumps(query))
+    assert "_key_memo" not in restored.__dict__
+    assert restored.key() == query.key()
