@@ -1,0 +1,139 @@
+"""Wall-clock overhead of the observability layer.
+
+Times the same negotiation (fresh world, same seed, offer-id counter
+reseeded) in three modes:
+
+* ``disabled`` — no tracer attached anywhere (the pre-obs code path),
+* ``null``     — ``Tracer(enabled=False)`` attached to the network and
+  wired through every component (the ``if tracer.enabled`` guards run,
+  nothing records),
+* ``enabled``  — a recording tracer, plus one deterministic-JSONL
+  export to price the exporter.
+
+Writes ``BENCH_obs.json`` at the repository root and enforces the
+documented contract: the *null* mode — tracing compiled in but switched
+off — costs less than 5% over *disabled* (median over repeats; the gate
+uses the per-mode minimum to shave scheduler noise).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import pathlib
+import statistics
+import time
+
+import repro.trading.commodity as commodity
+from repro.bench.harness import build_world, run_qt
+from repro.obs import Tracer, jsonl_lines
+from repro.trading import OfferCache
+from repro.workload import chain_query
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_obs.json"
+
+OVERHEAD_GATE = 0.05  # null-tracer overhead vs disabled, fractional
+
+
+def one_run(joins: int, nodes: int, tracer: Tracer | None) -> tuple[float, int]:
+    """Wall seconds for one full trade; also returns records captured."""
+    commodity._offer_ids = itertools.count(1)
+    world = build_world(nodes=nodes, n_relations=max(joins, 3), seed=7)
+    query = chain_query(joins)
+    start = time.perf_counter()
+    measurement = run_qt(world, query, offer_cache=OfferCache(), tracer=tracer)
+    if tracer is not None and tracer.enabled:
+        for _ in jsonl_lines(tracer.records):  # price the export too
+            pass
+    elapsed = time.perf_counter() - start
+    assert measurement.found, "benchmark trade must find a plan"
+    records = len(tracer.records) if tracer is not None else 0
+    if tracer is not None:
+        tracer.reset()
+    return elapsed, records
+
+
+def time_mode(joins: int, nodes: int, mode: str, repeats: int) -> dict:
+    times = []
+    records = 0
+    for _ in range(repeats):
+        tracer = {
+            "disabled": None,
+            "null": Tracer(enabled=False),
+            "enabled": Tracer(),
+        }[mode]
+        elapsed, captured = one_run(joins, nodes, tracer)
+        times.append(elapsed)
+        records = max(records, captured)
+    return {
+        "mode": mode,
+        "min_s": round(min(times), 6),
+        "median_s": round(statistics.median(times), 6),
+        "records": records,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats, smaller world")
+    args = parser.parse_args()
+    repeats = 3 if args.quick else 7
+    cases = [(3, 8)] if args.quick else [(3, 8), (4, 12)]
+
+    results = []
+    for joins, nodes in cases:
+        one_run(joins, nodes, None)  # warm caches / imports
+        modes = {
+            mode: time_mode(joins, nodes, mode, repeats)
+            for mode in ("disabled", "null", "enabled")
+        }
+        null_overhead = (
+            modes["null"]["min_s"] / modes["disabled"]["min_s"] - 1.0
+        )
+        enabled_overhead = (
+            modes["enabled"]["min_s"] / modes["disabled"]["min_s"] - 1.0
+        )
+        results.append(
+            {
+                "joins": joins,
+                "nodes": nodes,
+                "repeats": repeats,
+                "modes": list(modes.values()),
+                "null_overhead": round(null_overhead, 4),
+                "enabled_overhead": round(enabled_overhead, 4),
+            }
+        )
+        print(
+            f"joins={joins} nodes={nodes}: disabled "
+            f"{modes['disabled']['min_s']:.4f}s, null "
+            f"{modes['null']['min_s']:.4f}s ({null_overhead:+.1%}), enabled "
+            f"{modes['enabled']['min_s']:.4f}s ({enabled_overhead:+.1%}, "
+            f"{modes['enabled']['records']} records)"
+        )
+
+    record = {
+        "benchmark": "observability overhead (disabled / null / enabled)",
+        "gate_null_overhead_lt": OVERHEAD_GATE,
+        "cases": results,
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    worst = max(case["null_overhead"] for case in results)
+    assert worst < OVERHEAD_GATE, (
+        f"null-tracer overhead {worst:.1%} breaches the "
+        f"{OVERHEAD_GATE:.0%} gate"
+    )
+    print(f"gate ok: worst null-tracer overhead {worst:+.1%} < "
+          f"{OVERHEAD_GATE:.0%}")
+
+
+if __name__ == "__main__":
+    main()

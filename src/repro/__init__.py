@@ -25,6 +25,7 @@ from repro.cost import (
     stats_for_catalog,
 )
 from repro.net import Network
+from repro.obs import RunTelemetry, Tracer
 from repro.optimizer import (
     DynamicProgrammingOptimizer,
     GreedyOptimizer,
@@ -52,6 +53,8 @@ __all__ = [
     "NodeCapabilities",
     "stats_for_catalog",
     "Network",
+    "RunTelemetry",
+    "Tracer",
     "DynamicProgrammingOptimizer",
     "GreedyOptimizer",
     "IDPOptimizer",

@@ -274,16 +274,20 @@ def e5_message_accounting(
         network = Network(world.model)
         result = runner(network)
         stats = network.stats
+        # Rendered from the ``by_type`` breakdown (keyed by kind name);
+        # it is derived from the same ``record`` path as ``messages``,
+        # so the row always sums to the total column.
+        by_type = stats.by_type
         table.rows.append(
             [
                 label,
-                stats.count(MessageKind.RFB),
-                stats.count(MessageKind.OFFER),
-                stats.count(MessageKind.NO_OFFER),
-                stats.count(MessageKind.AWARD),
-                stats.count(MessageKind.REJECT),
-                stats.count(MessageKind.STATS_REQUEST)
-                + stats.count(MessageKind.STATS_RESPONSE),
+                by_type[MessageKind.RFB.value],
+                by_type[MessageKind.OFFER.value],
+                by_type[MessageKind.NO_OFFER.value],
+                by_type[MessageKind.AWARD.value],
+                by_type[MessageKind.REJECT.value],
+                by_type[MessageKind.STATS_REQUEST.value]
+                + by_type[MessageKind.STATS_RESPONSE.value],
                 stats.messages,
             ]
         )

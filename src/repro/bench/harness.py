@@ -181,16 +181,21 @@ def run_qt(
     max_iterations: int = 6,
     subcontracting: bool = False,
     workers: int = 1,
+    tracer=None,
     **agent_kwargs,
 ) -> Measurement:
     """Run the QT optimizer over a fresh network; return its measurement.
 
     ``workers > 1`` engages the parallel trading engine (offer farm +
     partitioned buyer DP); results are byte-identical to ``workers=1``.
+    Pass a :class:`repro.obs.Tracer` as *tracer* to record the
+    negotiation (the trader wires it through every layer).
     """
     from repro.trading import Subcontractor
 
     network = Network(world.model)
+    if tracer is not None:
+        network.attach_tracer(tracer)
     sellers = world.seller_agents(strategy_factory, **agent_kwargs)
     if subcontracting:
         for node, agent in sellers.items():
@@ -247,6 +252,7 @@ def run_qt_faulty(
     policy: RenegotiationPolicy | None = None,
     max_iterations: int = 6,
     workers: int = 1,
+    tracer=None,
     **agent_kwargs,
 ) -> Measurement:
     """Run QT under *fault_plan* with the full resilience stack engaged.
@@ -259,6 +265,8 @@ def run_qt_faulty(
     report plan degradation.
     """
     network = Network(world.model)
+    if tracer is not None:
+        network.attach_tracer(tracer)
     injector = FaultInjector(fault_plan)
     network.install_faults(injector)
     sellers = world.seller_agents(None, **agent_kwargs)

@@ -107,6 +107,22 @@ def _build_parser() -> argparse.ArgumentParser:
              "(offer farm + partitioned buyer DP); results are "
              "byte-identical to --workers 1",
     )
+    trade.add_argument(
+        "--trace", metavar="PATH",
+        help="record the negotiation and write the trace to PATH "
+             "(Chrome trace_event JSON for chrome://tracing / Perfetto, "
+             "or flat JSONL)",
+    )
+    trade.add_argument(
+        "--trace-format", choices=("chrome", "jsonl"),
+        help="trace file format; inferred from the --trace extension "
+             "when omitted (.jsonl -> jsonl, anything else -> chrome)",
+    )
+    trade.add_argument(
+        "--timeline", action="store_true",
+        help="print an ASCII per-site timeline of the traced "
+             "negotiation (implies tracing)",
+    )
 
     telecom = sub.add_parser(
         "telecom", help="run the paper's motivating telecom scenario"
@@ -128,6 +144,15 @@ def _build_parser() -> argparse.ArgumentParser:
              "printed in id order and identical to a serial run",
     )
 
+    report = sub.add_parser(
+        "report", help="summarize a trace written by trade --trace"
+    )
+    report.add_argument("path", help="trace file (Chrome JSON or JSONL)")
+    report.add_argument(
+        "--top", type=int, default=8,
+        help="how many slowest spans to list (default 8)",
+    )
+
     sub.add_parser("list-experiments", help="list available experiments")
     return parser
 
@@ -147,6 +172,12 @@ def _cmd_trade(args: argparse.Namespace) -> int:
         print(f"cannot parse query: {exc}", file=sys.stderr)
         return 2
     network = Network(world.model)
+    tracer = None
+    if args.trace or args.timeline:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        network.attach_tracer(tracer)
     injector = None
     if args.fault_plan:
         try:
@@ -180,6 +211,8 @@ def _cmd_trade(args: argparse.Namespace) -> int:
         result = ResilientTrader(trader, injector).optimize(query)
     else:
         result = trader.optimize(query)
+    if tracer is not None:
+        _export_trace(tracer, args)
     if not result.found:
         print("no distributed plan could be negotiated", file=sys.stderr)
         return 1
@@ -189,6 +222,7 @@ def _cmd_trade(args: argparse.Namespace) -> int:
         f"{result.messages.messages} messages, "
         f"{result.optimization_time:.4f}s simulated optimization time"
     )
+    print(f"messages by type: {result.messages.describe_types()}")
     if injector is not None:
         stats = result.messages
         print(
@@ -209,6 +243,43 @@ def _cmd_trade(args: argparse.Namespace) -> int:
               f"({len(answer.rows)} rows)")
         if not ok:
             return 1
+    return 0
+
+
+def _export_trace(tracer, args: argparse.Namespace) -> None:
+    """Write/print what ``--trace``/``--timeline`` asked for."""
+    from repro.obs import render_timeline, write_chrome_trace, write_jsonl
+
+    if args.trace:
+        fmt = args.trace_format
+        if fmt is None:
+            fmt = "jsonl" if args.trace.endswith(".jsonl") else "chrome"
+        if fmt == "chrome":
+            write_chrome_trace(tracer.records, args.trace)
+        else:
+            write_jsonl(tracer.records, args.trace)
+        print(
+            f"trace: {len(tracer.records)} records -> {args.trace} ({fmt})"
+        )
+    if args.timeline:
+        print(render_timeline(tracer.records))
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render_report
+
+    try:
+        rows = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load trace: {exc}", file=sys.stderr)
+        return 2
+    if not rows:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    try:
+        print(render_report(rows, top=args.top))
+    except BrokenPipeError:  # e.g. piped into head
+        return 0
     return 0
 
 
@@ -302,6 +373,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trade": _cmd_trade,
         "telecom": _cmd_telecom,
         "experiment": _cmd_experiment,
+        "report": _cmd_report,
         "list-experiments": _cmd_list,
     }
     return handlers[args.command](args)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.faults.injector import FaultInjector
 from repro.net.messages import Message, MessageKind
+from repro.obs.metrics import RunTelemetry
 from repro.trading.buyer import BuyerPlanGenerator, CandidatePlan, PlanGenResult
 from repro.trading.contracts import Contract
 from repro.trading.trader import QueryTrader, ResilienceSummary, TradingResult
@@ -83,6 +84,11 @@ class ResilientTrader:
         start_time = net.now
         start_stats = net.stats.snapshot()
         start_cache = trader._cache_stats()
+        # Telemetry must span the *whole* resilient run (initial trade
+        # plus every renegotiation), so the per-trade telemetry the
+        # inner optimize() calls attach is recomputed from this mark.
+        tracer = net.tracer
+        mark = len(tracer.records)
 
         result = trader.optimize(query)
         summary = result.resilience
@@ -92,10 +98,15 @@ class ResilientTrader:
         # rounds before enough offers survived the lossy links.  Re-run
         # the whole trade: the injector's RNG stream has advanced, so a
         # fresh attempt sees a different loss pattern.
-        for _ in range(self.policy.max_rounds):
+        for attempt in range(self.policy.max_rounds):
             if result.best is not None:
                 break
             summary.renegotiations += 1
+            if tracer.enabled:
+                tracer.event(
+                    "resilience.retrade", "resilience", site=trader.buyer,
+                    attempt=attempt + 1, reason="no_plan",
+                )
             down_now = {
                 node
                 for node in trader.sellers
@@ -124,6 +135,10 @@ class ResilientTrader:
             else None
         )
         result.resilience = summary
+        if tracer.enabled:
+            result.telemetry = RunTelemetry.from_records(
+                tracer.records[mark:]
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -142,6 +157,25 @@ class ResilientTrader:
 
     # ------------------------------------------------------------------
     def _renegotiate(
+        self,
+        query: SPJQuery,
+        prior: TradingResult,
+        excluded: set[str],
+        summary: ResilienceSummary,
+    ) -> TradingResult:
+        tracer = self.trader.network.tracer
+        if not tracer.enabled:
+            return self._renegotiate_inner(query, prior, excluded, summary)
+        before = summary.contracts_voided
+        with tracer.span(
+            "resilience.renegotiate", "resilience", site=self.trader.buyer,
+            excluded=len(excluded),
+        ) as span:
+            result = self._renegotiate_inner(query, prior, excluded, summary)
+            span.set(voided=summary.contracts_voided - before)
+            return result
+
+    def _renegotiate_inner(
         self,
         query: SPJQuery,
         prior: TradingResult,
@@ -179,6 +213,11 @@ class ResilientTrader:
         if best is None:
             # Tier 3: the hole could not be patched at the old contract
             # granularity — re-trade the whole query among survivors.
+            if net.tracer.enabled:
+                net.tracer.event(
+                    "resilience.escalate", "resilience", site=trader.buyer,
+                    tier="full_retrade",
+                )
             full = trader.retrade_after_failure(query, excluded)
             summary.timeouts_fired += full.resilience.timeouts_fired
             summary.retries += full.resilience.retries
@@ -241,6 +280,12 @@ class ResilientTrader:
         self._charge(result)
         if result.best is not None and result.enumerated <= self.policy.dp_budget:
             return result.best
+        if net.tracer.enabled:
+            net.tracer.event(
+                "resilience.escalate", "resilience", site=trader.buyer,
+                tier="greedy", enumerated=result.enumerated,
+                over_budget=result.enumerated > self.policy.dp_budget,
+            )
         greedy = self._greedy_generator()
         greedy_result = greedy.generate(query, offers)
         self._charge(greedy_result)

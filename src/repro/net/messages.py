@@ -45,3 +45,25 @@ class Message:
     recipient: str
     payload: Any = None
     size_bytes: int | None = None
+
+    def trace_args(self, size: int) -> dict[str, Any]:
+        """Small, JSON-able payload summary for trace events.
+
+        Never serializes the payload itself (offers and queries are
+        heavy); only counts what is countable — the number of queries
+        in an RFB, the number of items in an offer list.
+        """
+        args: dict[str, Any] = {
+            "kind": self.kind.value,
+            "to": self.recipient,
+            "bytes": size,
+        }
+        payload = self.payload
+        if payload is None:
+            return args
+        queries = getattr(payload, "queries", None)
+        if queries is not None:
+            args["queries"] = len(queries)
+        elif isinstance(payload, (list, tuple)):
+            args["items"] = len(payload)
+        return args

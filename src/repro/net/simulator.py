@@ -19,11 +19,13 @@ Two layers:
 from __future__ import annotations
 
 import heapq
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.cost.model import CostModel
 from repro.net.messages import Message, MessageKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -128,13 +130,24 @@ class Simulator:
             processed += 1
         return self.now
 
-    @property
-    def pending(self) -> int:
+    def pending_events(self) -> int:
+        """Events that will actually fire.
+
+        Cancelled timers are deleted *lazily* — their heap entries stay
+        queued until popped — so ``len(self._queue)`` over-counts after
+        any cancellation.  This accessor filters them out; it is what
+        queue-size reporting (e.g. the tracer's ``sim.pending_events``
+        gauge) must use.
+        """
         return sum(
             1
             for _when, _seq, _fn, handle in self._queue
             if handle is None or not handle.cancelled
         )
+
+    @property
+    def pending(self) -> int:
+        return self.pending_events()
 
 
 @dataclass
@@ -160,6 +173,23 @@ class NetworkStats:
 
     def count(self, kind: MessageKind) -> int:
         return self.by_kind.get(kind, 0)
+
+    @property
+    def by_type(self) -> "Counter[str]":
+        """Per-message-type breakdown keyed by kind *name* (``"rfb"``,
+        ``"offer"``, ...), as a :class:`collections.Counter` so absent
+        types read as zero.  Derived from the same ``record`` path as
+        the totals, so it always sums to :attr:`messages`.
+        """
+        return Counter(
+            {kind.value: count for kind, count in self.by_kind.items()}
+        )
+
+    def describe_types(self) -> str:
+        """``"rfb=16 offer=14 ..."`` — render of the by-type breakdown."""
+        return " ".join(
+            f"{name}={count}" for name, count in sorted(self.by_type.items())
+        )
 
     def snapshot(self) -> "NetworkStats":
         return NetworkStats(
@@ -209,6 +239,7 @@ class Network:
         self.sim = Simulator()
         self.stats = NetworkStats()
         self.fault_injector: "FaultInjector | None" = None
+        self.tracer: Tracer = NULL_TRACER
         self._handlers: dict[str, Handler] = {}
         self._busy_until: dict[str, float] = {}
 
@@ -229,6 +260,17 @@ class Network:
     def install_faults(self, injector: "FaultInjector | None") -> None:
         """Install (or remove, with ``None``) the fault injector."""
         self.fault_injector = injector
+
+    # -- observability ----------------------------------------------------
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Attach a tracer (or detach with ``None``).
+
+        The tracer's simulated clock is bound to this network's
+        simulator; the :class:`~repro.trading.trader.QueryTrader`
+        propagates the same tracer into every layer it drives.
+        """
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_sim(self.sim)
 
     # -- time ------------------------------------------------------------
     @property
@@ -274,6 +316,11 @@ class Network:
             else self.cost_model.network.control_message_bytes
         )
         self.stats.record(message, size)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "msg.send", "net", site=message.sender,
+                **message.trace_args(size),
+            )
         depart = max(self.now, earliest if earliest is not None else self.now)
         if self.fault_injector is None:
             self._schedule_delivery(message, depart + self.message_delay(message))
@@ -283,6 +330,11 @@ class Network:
 
     def _schedule_delivery(self, message: Message, deliver_at: float) -> None:
         def _deliver() -> None:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "msg.deliver", "net", site=message.recipient,
+                    kind=message.kind.value, sender=message.sender,
+                )
             handler = self._handlers.get(message.recipient)
             if handler is not None:
                 handler(self, message)
@@ -309,4 +361,10 @@ class Network:
         return count
 
     def run(self) -> float:
+        if self.tracer.enabled:
+            # Sampled with the accurate accessor: cancelled (lazily
+            # deleted) timer entries are excluded from the gauge.
+            self.tracer.gauge(
+                "sim.pending_events", self.sim.pending_events()
+            )
         return self.sim.run_until_idle()

@@ -1,0 +1,45 @@
+"""Observability: structured tracing, metrics, exporters, trace reports.
+
+Zero-dependency and off by default.  Enable by attaching a
+:class:`Tracer` to the network fabric::
+
+    from repro.obs import Tracer
+    tracer = Tracer()
+    network.attach_tracer(tracer)
+    result = trader.optimize(query)      # result.telemetry now populated
+    write_chrome_trace(tracer.records, "trace.json")
+
+The trader auto-wires the tracer into every layer it drives (protocol,
+sellers, offer caches, plan generator, offer farm), so one attach call
+instruments the whole negotiation.  See ``docs/OBSERVABILITY.md`` for
+the event schema, the span hierarchy, and the determinism/overhead
+contracts.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    jsonl_lines,
+    render_timeline,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry, RunTelemetry
+from repro.obs.report import load_trace, render_report, summarize
+from repro.obs.tracer import CAT_PARALLEL, NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "CAT_PARALLEL",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RunTelemetry",
+    "TraceRecord",
+    "Tracer",
+    "chrome_trace_events",
+    "jsonl_lines",
+    "load_trace",
+    "render_report",
+    "render_timeline",
+    "summarize",
+    "write_chrome_trace",
+    "write_jsonl",
+]

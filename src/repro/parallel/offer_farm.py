@@ -46,6 +46,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Mapping
 
 import repro.trading.commodity as commodity
+from repro.obs.tracer import CAT_PARALLEL, NULL_TRACER, TraceRecord, Tracer
 from repro.parallel.pool import get_pool
 from repro.trading.cache import CacheStats
 from repro.trading.commodity import Offer, RequestForBids
@@ -79,7 +80,10 @@ def _prepare_worker(agent: "SellerAgent", rfb: RequestForBids):
             if key not in before
         ]
         stats = cache.stats
-    return offers, total_created, work, stored, stats
+    # Trace rows the worker-local tracer recorded during prepare_offers
+    # (empty when the farm runs untraced); the parent absorbs them at
+    # consume time, where the serial code would have recorded them.
+    return offers, total_created, work, stored, stats, agent.tracer.records
 
 
 def _prepare_chunk(agents: Mapping[str, "SellerAgent"], rfb: RequestForBids):
@@ -103,6 +107,7 @@ class _Batch:
     work: float
     stored: list[tuple]
     stats: CacheStats
+    events: list[TraceRecord]
     valid: bool = True
 
 
@@ -138,14 +143,35 @@ class RoundPrefetch:
         fault-duplicated delivery — the repeat call must really run so
         it observes the warmed cache exactly as serial would).
         """
+        tracer = agent.tracer
         if rfb is not self._rfb or node in self._consumed:
             self._stats.serial_fallbacks += 1
+            if tracer.enabled:
+                reason = (
+                    "already_consumed" if node in self._consumed
+                    else "other_rfb"
+                )
+                tracer.event(
+                    "farm.serial_fallback", CAT_PARALLEL, site=node,
+                    reason=reason,
+                )
             return None
         batch = self._batches.get(node)
         if batch is None or not batch.valid:
             self._stats.serial_fallbacks += 1
+            if tracer.enabled:
+                reason = "missing_batch" if batch is None else "invalidated"
+                tracer.event(
+                    "farm.serial_fallback", CAT_PARALLEL, site=node,
+                    reason=reason,
+                )
             return None
         self._consumed.add(node)
+        # Worker trace rows first (the prepare_offers span and its cache
+        # hits/misses), exactly where the serial call would have recorded
+        # them; the store replay below never evicts (capacity-crossing
+        # batches were invalidated), so it emits no events of its own.
+        tracer.absorb(batch.events)
         cache = agent.offer_cache
         if cache is not None:
             cache.stats.add(batch.stats)
@@ -161,6 +187,11 @@ class RoundPrefetch:
                 for offer in offers
             ]
         self._stats.batches_consumed += 1
+        if tracer.enabled:
+            tracer.event(
+                "farm.batch_consumed", CAT_PARALLEL, site=node,
+                offers=len(offers), absorbed=len(batch.events),
+            )
         return offers, batch.work
 
     def discard(self) -> None:
@@ -178,6 +209,11 @@ class OfferFarm:
             raise ValueError("workers must be positive")
         self.workers = workers
         self.stats = FarmStats()
+        #: Observability hook (the trader attaches its network tracer).
+        #: Farm events are in the ``parallel`` category: they document
+        #: real pool behavior and are excluded from deterministic
+        #: exports.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def prepare(
@@ -194,9 +230,13 @@ class OfferFarm:
         nodes = sorted(node for node in sellers if node != exclude)
         if self.workers <= 1 or len(nodes) < 2:
             self.stats.rounds_serial += 1
+            self._trace_serial_round(
+                "workers" if self.workers <= 1 else "few_sellers"
+            )
             return None
         if any(sellers[node].subcontractor is not None for node in nodes):
             self.stats.rounds_serial += 1
+            self._trace_serial_round("subcontracting")
             return None
         try:
             pool = get_pool(self.workers)
@@ -205,10 +245,21 @@ class OfferFarm:
                 agent = sellers[node]
                 worker_agent = copy.copy(agent)
                 worker_agent.subcontractor = None
+                # Workers trace into a fresh unbound tracer (an enabled
+                # one bound to a live simulator would not pickle); its
+                # rows ship back with the batch and are absorbed at
+                # consume.  The cache snapshot shares the same tracer —
+                # pickle's reference sharing keeps them shared in the
+                # worker.
+                worker_agent.tracer = (
+                    Tracer(enabled=True)
+                    if self.tracer.enabled
+                    else NULL_TRACER
+                )
                 if agent.offer_cache is not None:
-                    worker_agent.offer_cache = (
-                        agent.offer_cache.snapshot_for_site(agent.node)
-                    )
+                    clone = agent.offer_cache.snapshot_for_site(agent.node)
+                    clone.tracer = worker_agent.tracer
+                    worker_agent.offer_cache = clone
                 worker_agents[node] = worker_agent
             # One chunk per worker (round-robin for balance): the shared
             # plan builder pickles once per chunk, not once per seller.
@@ -230,15 +281,27 @@ class OfferFarm:
                     batches[node] = _Batch(*parts)
         except Exception:
             self.stats.rounds_serial += 1
+            self._trace_serial_round("pool_error")
             return None
         self._enforce_capacity(sellers, batches)
         self.stats.rounds_prefetched += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "farm.prepared", CAT_PARALLEL,
+                sellers=len(batches), workers=self.workers,
+                round=rfb.round_number,
+            )
         return RoundPrefetch(rfb, batches, self.stats)
 
+    def _trace_serial_round(self, reason: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.event(
+                "farm.serial_round", CAT_PARALLEL, reason=reason
+            )
+
     # ------------------------------------------------------------------
-    @staticmethod
     def _enforce_capacity(
-        sellers: Mapping[str, "SellerAgent"], batches: dict[str, _Batch]
+        self, sellers: Mapping[str, "SellerAgent"], batches: dict[str, _Batch]
     ) -> None:
         """Invalidate batches whose replay could trigger FIFO eviction.
 
@@ -261,3 +324,8 @@ class OfferFarm:
             if len(cache) + pending > cache.max_entries:
                 for node in nodes:
                     batches[node].valid = False
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "farm.capacity_fallback", CAT_PARALLEL,
+                        sellers=len(nodes),
+                    )

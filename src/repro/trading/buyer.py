@@ -31,11 +31,13 @@ emits sort-free variants of ORDER BY queries.
 
 from __future__ import annotations
 
+import copy
 import heapq
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Iterable, Mapping, Sequence
 
+from repro.obs.tracer import CAT_PARALLEL, NULL_TRACER, Tracer
 from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plans import Plan, PlanBuilder, Purchased
 from repro.sql.expr import Expr, TRUE, conjoin, restriction_overlaps
@@ -139,6 +141,8 @@ class BuyerPlanGenerator:
         #: queries off the IPC tax entirely.
         self.workers = workers
         self.parallel_threshold = parallel_threshold
+        #: Observability hook; the trader attaches its network tracer.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def required_coverage(self, query: SPJQuery) -> dict[str, frozenset[int]]:
@@ -162,6 +166,24 @@ class BuyerPlanGenerator:
 
     # ------------------------------------------------------------------
     def generate(self, query: SPJQuery, offers: Sequence[Offer]) -> PlanGenResult:
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._generate(query, offers)
+        with tracer.span(
+            "buyer.plangen", "trading", site=self.buyer_site,
+            mode=self.mode, offers=len(offers),
+        ) as span:
+            result = self._generate(query, offers)
+            span.set(
+                enumerated=result.enumerated,
+                candidates=len(result.candidates),
+                found=result.found,
+            )
+            return result
+
+    def _generate(
+        self, query: SPJQuery, offers: Sequence[Offer]
+    ) -> PlanGenResult:
         aliases = frozenset(query.aliases)
         alias_to_relation = {r.alias: r.name for r in query.relations}
         required = self.required_coverage(query)
@@ -350,6 +372,18 @@ class BuyerPlanGenerator:
         }
         chunks = [list(masks[i :: self.workers]) for i in range(self.workers)]
         chunks = [chunk for chunk in chunks if chunk]
+        # The generator shipped to workers must not drag an enabled
+        # tracer along: one bound to a live simulator does not pickle,
+        # and a silent pool failure here would disable buyer parallelism
+        # exactly when someone is profiling it.
+        shipped = self
+        if self.tracer.enabled:
+            shipped = copy.copy(self)
+            shipped.tracer = NULL_TRACER
+            self.tracer.event(
+                "buyer.parallel_level2", CAT_PARALLEL, site=self.buyer_site,
+                pairs=pairs, chunks=len(chunks),
+            )
         try:
             from repro.parallel.pool import get_pool
 
@@ -357,7 +391,7 @@ class BuyerPlanGenerator:
             futures = [
                 pool.submit(
                     _level2_chunk_worker,
-                    self, seed, chunk, graph, query, required,
+                    shipped, seed, chunk, graph, query, required,
                     alias_to_relation, query_connected,
                 )
                 for chunk in chunks

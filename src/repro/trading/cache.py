@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from repro.cost.model import NodeCapabilities
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sql.query import SPJQuery
 from repro.trading.commodity import coverage_key
 
@@ -100,6 +101,9 @@ class OfferCache:
         self.hit_work_fraction = hit_work_fraction
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Observability hook (off by default; the trader attaches its
+        #: network tracer, the offer farm a worker-local one).
+        self.tracer: Tracer = NULL_TRACER
         self._entries: dict[CacheKey, "DPResult"] = {}
 
     def __len__(self) -> int:
@@ -121,8 +125,16 @@ class OfferCache:
         result = self._entries.get(key)
         if result is None:
             self.stats.misses += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "cache.miss", "cache", site=key[2], optimizer=key[4]
+                )
         else:
             self.stats.hits += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "cache.hit", "cache", site=key[2], optimizer=key[4]
+                )
         return result
 
     def store(self, key: CacheKey, result: "DPResult") -> None:
@@ -133,6 +145,8 @@ class OfferCache:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
             self.stats.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.event("cache.evict", "cache", site=oldest[2])
         self._entries[key] = result
 
     def clear(self) -> None:

@@ -114,6 +114,23 @@ class NegotiationProtocol:
     ) -> list[Offer]:
         """Notify winners (AWARD) and losers (REJECT); returns the final
         (possibly repriced) winning offers."""
+        tracer = network.tracer
+        if not tracer.enabled:
+            return self._award(network, buyer, winning, losing, sellers)
+        with tracer.span(
+            "trade.award", "trading", site=buyer,
+            winning=len(winning), losing=len(losing), protocol=self.name,
+        ):
+            return self._award(network, buyer, winning, losing, sellers)
+
+    def _award(
+        self,
+        network: Network,
+        buyer: str,
+        winning: Sequence[Offer],
+        losing: Sequence[Offer],
+        sellers: Mapping[str, SellerAgent],
+    ) -> list[Offer]:
         self._ensure_registered(network, buyer, sellers)
         final = self.settle_prices(winning, losing)
         for offer in final:
@@ -207,6 +224,30 @@ class BiddingProtocol(NegotiationProtocol):
         sellers: Mapping[str, SellerAgent],
         rfb: RequestForBids,
     ) -> SolicitResult:
+        tracer = network.tracer
+        if not tracer.enabled:
+            return self._solicit(network, buyer, sellers, rfb)
+        with tracer.span(
+            "protocol.solicit", "trading", site=buyer,
+            protocol=self.name, round=rfb.round_number,
+            queries=len(rfb.queries),
+            sellers=sum(1 for node in sellers if node != buyer),
+        ) as span:
+            result = self._solicit(network, buyer, sellers, rfb)
+            span.set(
+                offers=len(result.offers),
+                timeouts=result.timeouts_fired,
+                retries=result.retries,
+            )
+            return result
+
+    def _solicit(
+        self,
+        network: Network,
+        buyer: str,
+        sellers: Mapping[str, SellerAgent],
+        rfb: RequestForBids,
+    ) -> SolicitResult:
         started = network.now
         collected: list[Offer] = []
         expected = sorted(node for node in sellers if node != buyer)
@@ -235,6 +276,15 @@ class BiddingProtocol(NegotiationProtocol):
             else:
                 offers, work = agent.prepare_offers(message.payload)
             done = net.compute(message.recipient, work)
+            if net.tracer.enabled:
+                # The booked optimization effort as a span on the
+                # seller's busy timeline (identical whether the offers
+                # came from the farm prefetch or a serial call).
+                net.tracer.interval(
+                    "seller.compute", "trading", site=message.recipient,
+                    sim_start=done - work, sim_end=done,
+                    work=work, offers=len(offers),
+                )
             if offers:
                 net.send(
                     Message(
@@ -276,23 +326,50 @@ class BiddingProtocol(NegotiationProtocol):
                 state["timer"] = network.sim.schedule_cancellable(
                     deadline, on_deadline
                 )
-            for node in expected:
-                network.send(
-                    Message(
-                        MessageKind.RFB,
-                        buyer,
-                        node,
-                        rfb,
-                        size_bytes=rfb_size(network, rfb),
+            if not network.tracer.enabled:
+                for node in expected:
+                    network.send(
+                        Message(
+                            MessageKind.RFB,
+                            buyer,
+                            node,
+                            rfb,
+                            size_bytes=rfb_size(network, rfb),
+                        )
                     )
-                )
+                return
+            with network.tracer.span(
+                "rfb.fanout", "trading", site=buyer,
+                attempt=attempt, sellers=len(expected),
+                round=rfb.round_number,
+            ):
+                for node in expected:
+                    network.send(
+                        Message(
+                            MessageKind.RFB,
+                            buyer,
+                            node,
+                            rfb,
+                            size_bytes=rfb_size(network, rfb),
+                        )
+                    )
 
         def on_deadline() -> None:
             state["timeouts"] += 1
+            if network.tracer.enabled:
+                network.tracer.event(
+                    "round.timeout", "trading", site=buyer,
+                    responded=len(responded), expected=len(expected),
+                )
             if not responded and state["retries"] < self.max_retries:
                 # All sellers silent: re-issue with exponential backoff.
                 state["retries"] += 1
                 network.stats.retried += len(expected)
+                if network.tracer.enabled:
+                    network.tracer.event(
+                        "round.retry", "trading", site=buyer,
+                        attempt=state["retries"],
+                    )
                 issue(state["retries"])
             else:
                 state["closed"] = True
@@ -392,6 +469,30 @@ class BargainingProtocol(NegotiationProtocol):
         return self
 
     def solicit(
+        self,
+        network: Network,
+        buyer: str,
+        sellers: Mapping[str, SellerAgent],
+        rfb: RequestForBids,
+    ) -> SolicitResult:
+        tracer = network.tracer
+        if not tracer.enabled:
+            return self._solicit(network, buyer, sellers, rfb)
+        with tracer.span(
+            "protocol.solicit", "trading", site=buyer,
+            protocol=self.name, round=rfb.round_number,
+            queries=len(rfb.queries),
+            sellers=sum(1 for node in sellers if node != buyer),
+        ) as span:
+            result = self._solicit(network, buyer, sellers, rfb)
+            span.set(
+                offers=len(result.offers),
+                timeouts=result.timeouts_fired,
+                retries=result.retries,
+            )
+            return result
+
+    def _solicit(
         self,
         network: Network,
         buyer: str,

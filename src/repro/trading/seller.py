@@ -27,6 +27,7 @@ from typing import Iterable, Mapping
 
 from repro.catalog.catalog import LocalCatalog
 from repro.cost.model import NodeCapabilities
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optimizer.dp import DPResult, DynamicProgrammingOptimizer
 from repro.optimizer.plans import Plan, PlanBuilder
 from repro.sql.expr import TRUE
@@ -125,12 +126,28 @@ class SellerAgent:
             self.offer_cache: OfferCache | None = offer_cache
         else:
             self.offer_cache = OfferCache() if use_offer_cache else None
+        #: Observability hook; the trader attaches its network tracer,
+        #: the offer farm a fresh worker-local tracer whose records ship
+        #: back with the offer batch.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def prepare_offers(
         self, rfb: RequestForBids
     ) -> tuple[list[Offer], float]:
         """All offers for *rfb*, plus the simulated optimization effort."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._prepare(rfb)
+        with tracer.span(
+            "seller.prepare_offers", "trading", site=self.node,
+            round=rfb.round_number, queries=len(rfb.queries),
+        ) as span:
+            offers, work = self._prepare(rfb)
+            span.set(offers=len(offers), work=work)
+            return offers, work
+
+    def _prepare(self, rfb: RequestForBids) -> tuple[list[Offer], float]:
         offers: list[Offer] = []
         work = 0.0
         for query in rfb.queries:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.net.simulator import Network, NetworkStats
+from repro.obs.metrics import RunTelemetry
 from repro.optimizer.plans import PlanBuilder, Purchased
 from repro.sql.query import SPJQuery
 from repro.trading.buyer import (
@@ -114,6 +115,9 @@ class TradingResult:
     trace: list[IterationTrace] = field(default_factory=list)
     cache: CacheStats = field(default_factory=CacheStats)  # seller offer caches
     resilience: ResilienceSummary = field(default_factory=ResilienceSummary)
+    #: Per-run metrics (``None`` unless a tracer was attached to the
+    #: network — see :mod:`repro.obs`).
+    telemetry: RunTelemetry | None = None
 
     @property
     def found(self) -> bool:
@@ -181,6 +185,43 @@ class QueryTrader:
     # ------------------------------------------------------------------
     def optimize(self, query: SPJQuery, initial_value: float | None = None) -> TradingResult:
         """Run the full iterative trading negotiation for *query*."""
+        tracer = self.network.tracer
+        if not tracer.enabled:
+            return self._optimize(query, initial_value)
+        self._wire_tracer(tracer)
+        mark = len(tracer.records)
+        with tracer.span(
+            "trade.optimize", "trading", site=self.buyer, query=query.key()
+        ) as span:
+            result = self._optimize(query, initial_value)
+            span.set(
+                iterations=result.iterations,
+                offers=result.offers_considered,
+                found=result.found,
+            )
+        result.telemetry = RunTelemetry.from_records(tracer.records[mark:])
+        return result
+
+    def _wire_tracer(self, tracer) -> None:
+        """Propagate the network tracer into every layer this trader
+        drives: plan generator, seller agents, their (possibly shared)
+        offer caches, and the protocol's offer farm if one is attached.
+        """
+        self.plan_generator.tracer = tracer
+        farm = getattr(self.protocol, "farm", None)
+        if farm is not None:
+            farm.tracer = tracer
+        seen: set[int] = set()
+        for agent in self.sellers.values():
+            agent.tracer = tracer
+            cache = getattr(agent, "offer_cache", None)
+            if cache is not None and id(cache) not in seen:
+                seen.add(id(cache))
+                cache.tracer = tracer
+
+    def _optimize(
+        self, query: SPJQuery, initial_value: float | None = None
+    ) -> TradingResult:
         net = self.network
         start_time = net.now
         start_stats = net.stats.snapshot()
@@ -205,77 +246,98 @@ class QueryTrader:
             for q in queries:
                 asked.add(q.key())
 
-            # B1: strategic value estimation.
-            reservations: dict[str, float] = {}
-            for q in queries:
-                reservation = self.buyer_strategy.reservation(
-                    estimates.get(q.key())
-                )
-                if reservation is not None:
-                    reservations[q.key()] = reservation
-            rfb = RequestForBids(
-                buyer=self.buyer,
-                queries=tuple(queries),
-                reservations=reservations,
-                round_number=round_number,
-            )
-
-            # B2/B3: solicit offers over the network.
-            result = self.protocol.solicit(net, self.buyer, self.sellers, rfb)
-            resilience.timeouts_fired += result.timeouts_fired
-            resilience.retries += result.retries
-            for offer in result.offers:
-                key = (
-                    offer.seller,
-                    offer.query.key(),
-                    offer.coverage_key(),
-                    offer.exact_projections,
-                )
-                current = offers.get(key)
-                if current is None or self.valuation(
-                    offer.properties
-                ) < self.valuation(current.properties):
-                    offers[key] = offer
-                # Track per-query market estimates for future reservations.
-                estimate = estimates.get(offer.query.key())
-                value = self.valuation(offer.properties)
-                if estimate is None or value < estimate:
-                    estimates[offer.query.key()] = value
-
-            # B4: generate candidate plans (buyer-side compute is booked
-            # on the buyer's timeline).
-            all_offers = list(offers.values())
-            plan_result = self.plan_generator.generate(query, all_offers)
-            plan_work = (
-                plan_result.enumerated * self.plan_generator.seconds_per_plan
-            )
-            finish = net.compute(self.buyer, plan_work)
-            net.sim.schedule_at(finish, lambda: None)
-            net.run()
-
-            improved = plan_result.best is not None and (
-                best is None
-                or plan_result.best.value
-                < best.value * (1.0 - self.improvement_epsilon)
-            )
-            if improved:
-                best = plan_result.best
-                estimates[query.key()] = best.value
-
-            # B5/B6: derive new queries.
-            required = self.plan_generator.required_coverage(query)
-            derived = self.analyser.derive(query, all_offers, required)
-            new_queries = [q for q in derived if q.key() not in asked]
-
-            trace.append(
-                IterationTrace(
+            # Once per round, outside the hot paths: a disabled tracer
+            # hands back the no-op span.
+            with net.tracer.span(
+                "trade.round", "trading", site=self.buyer,
+                round=round_number, queries=len(queries),
+            ) as round_span:
+                # B1: strategic value estimation.
+                reservations: dict[str, float] = {}
+                for q in queries:
+                    reservation = self.buyer_strategy.reservation(
+                        estimates.get(q.key())
+                    )
+                    if reservation is not None:
+                        reservations[q.key()] = reservation
+                rfb = RequestForBids(
+                    buyer=self.buyer,
+                    queries=tuple(queries),
+                    reservations=reservations,
                     round_number=round_number,
-                    queries_asked=len(queries),
-                    offers_received=len(result.offers),
-                    best_value=None if best is None else best.value,
-                    elapsed=net.now - start_time,
                 )
-            )
+
+                # B2/B3: solicit offers over the network.
+                result = self.protocol.solicit(
+                    net, self.buyer, self.sellers, rfb
+                )
+                resilience.timeouts_fired += result.timeouts_fired
+                resilience.retries += result.retries
+                for offer in result.offers:
+                    key = (
+                        offer.seller,
+                        offer.query.key(),
+                        offer.coverage_key(),
+                        offer.exact_projections,
+                    )
+                    current = offers.get(key)
+                    if current is None or self.valuation(
+                        offer.properties
+                    ) < self.valuation(current.properties):
+                        offers[key] = offer
+                    # Track per-query market estimates for future
+                    # reservations.
+                    estimate = estimates.get(offer.query.key())
+                    value = self.valuation(offer.properties)
+                    if estimate is None or value < estimate:
+                        estimates[offer.query.key()] = value
+
+                # B4: generate candidate plans (buyer-side compute is
+                # booked on the buyer's timeline).
+                all_offers = list(offers.values())
+                plan_result = self.plan_generator.generate(query, all_offers)
+                plan_work = (
+                    plan_result.enumerated
+                    * self.plan_generator.seconds_per_plan
+                )
+                finish = net.compute(self.buyer, plan_work)
+                if net.tracer.enabled:
+                    net.tracer.interval(
+                        "buyer.compute", "trading", site=self.buyer,
+                        sim_start=finish - plan_work, sim_end=finish,
+                        work=plan_work, enumerated=plan_result.enumerated,
+                    )
+                net.sim.schedule_at(finish, lambda: None)
+                net.run()
+
+                improved = plan_result.best is not None and (
+                    best is None
+                    or plan_result.best.value
+                    < best.value * (1.0 - self.improvement_epsilon)
+                )
+                if improved:
+                    best = plan_result.best
+                    estimates[query.key()] = best.value
+
+                # B5/B6: derive new queries.
+                required = self.plan_generator.required_coverage(query)
+                derived = self.analyser.derive(query, all_offers, required)
+                new_queries = [q for q in derived if q.key() not in asked]
+
+                trace.append(
+                    IterationTrace(
+                        round_number=round_number,
+                        queries_asked=len(queries),
+                        offers_received=len(result.offers),
+                        best_value=None if best is None else best.value,
+                        elapsed=net.now - start_time,
+                    )
+                )
+                round_span.set(
+                    offers=len(result.offers),
+                    improved=improved,
+                    new_queries=len(new_queries),
+                )
 
             # Abort when no plan exists and the analyser has nothing new
             # to ask for (a softened version of the paper's first-round
