@@ -16,6 +16,7 @@ import json
 import pathlib
 import time
 
+from repro.bench.envelope import bench_envelope, history
 from repro.bench.experiments import (
     ef1_drop_rate_sweep,
     ef2_crash_sweep,
@@ -40,7 +41,9 @@ def run_family(fn) -> dict:
 
 
 def main() -> None:
+    envelope = bench_envelope()
     record = {
+        **envelope,
         "benchmark": "fault-injection & resilience (E-F1..E-F3)",
         "families": [
             run_family(ef1_drop_rate_sweep),
@@ -55,6 +58,9 @@ def main() -> None:
     assert "-" not in costs, "E-F1: some drop rate failed to produce a plan"
     assert len(costs) == 1, "E-F1: plan cost drifted across drop rates"
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    history(REPO_ROOT).append(
+        "faults", {"ef1_cost_stable": 1}, envelope=envelope
+    )
     for family in record["families"]:
         print(
             f"{family['experiment']}: {len(family['rows'])} rows "

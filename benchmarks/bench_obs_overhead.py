@@ -30,6 +30,7 @@ import statistics
 import time
 
 import repro.trading.commodity as commodity
+from repro.bench.envelope import bench_envelope, history
 from repro.bench.harness import build_world, run_qt
 from repro.obs import Tracer, jsonl_lines
 from repro.trading import OfferCache
@@ -118,15 +119,20 @@ def main() -> None:
             f"{modes['enabled']['records']} records)"
         )
 
+    envelope = bench_envelope()
     record = {
+        **envelope,
         "benchmark": "observability overhead (disabled / null / enabled)",
         "gate_null_overhead_lt": OVERHEAD_GATE,
         "cases": results,
     }
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    worst = max(case["null_overhead"] for case in results)
+    history(REPO_ROOT).append(
+        "obs_overhead", {"worst_null_overhead": worst}, envelope=envelope
+    )
     print(f"wrote {OUTPUT}")
 
-    worst = max(case["null_overhead"] for case in results)
     assert worst < OVERHEAD_GATE, (
         f"null-tracer overhead {worst:.1%} breaches the "
         f"{OVERHEAD_GATE:.0%} gate"

@@ -33,6 +33,7 @@ import pathlib
 import time
 
 import repro.trading.commodity as commodity
+from repro.bench.envelope import bench_envelope, history
 from repro.bench.harness import build_world
 from repro.parallel import OfferFarm, SweepJob, available_cpus, get_pool, run_sweep
 from repro.trading import RequestForBids
@@ -216,7 +217,9 @@ def main() -> None:
     accept_speedup = eight_join["workers"][accept_workers]["speedup"]
     gate_enforced = cpus >= MIN_CPUS_FOR_GATE
 
+    envelope = bench_envelope()
     payload = {
+        **envelope,
         "description": (
             "Wall-clock comparison: OfferFarm process-pool offer "
             "generation and the parallel sweep runner vs the serial "
@@ -237,6 +240,14 @@ def main() -> None:
         },
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    history(REPO_ROOT).append(
+        "parallel",
+        {
+            "eight_join_speedup": accept_speedup,
+            "speedup_gate_enforced": gate_enforced,
+        },
+        envelope=envelope,
+    )
 
     for row in joins_rows + sites_rows + [sweep_row]:
         parts = "  ".join(

@@ -17,6 +17,7 @@ import json
 import pathlib
 import time
 
+from repro.bench.envelope import bench_envelope, history
 from repro.bench.harness import build_world
 from repro.optimizer.dp import DynamicProgrammingOptimizer
 from repro.optimizer.reference import (
@@ -110,7 +111,9 @@ def main() -> None:
     cases = bench_seller_dp(world)
     cases.append(bench_buyer_plangen(world))
     eight_join = next(c for c in cases if c["case"] == "seller-dp-8-joins")
+    envelope = bench_envelope()
     payload = {
+        **envelope,
         "description": (
             "Wall-clock comparison: bitmask JoinGraph enumeration vs the "
             "reference frozenset implementation (plans asserted identical)."
@@ -120,6 +123,11 @@ def main() -> None:
         "eight_join_speedup": eight_join["speedup"],
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    history(REPO_ROOT).append(
+        "enumeration",
+        {"eight_join_speedup": eight_join["speedup"]},
+        envelope=envelope,
+    )
     for case in cases:
         print(
             f"{case['case']:>24}: seed {case['seed_s'] * 1e3:8.2f} ms  "

@@ -27,7 +27,7 @@ CONFIGS = [
 ]
 
 
-def _measure(world, query, mode, faulty: bool):
+def _measure(world, query, mode, faulty: bool, tracer=None):
     # Offer ids come from a module-global counter; reset it so the two
     # runs mint identical ids and explain() strings are comparable.
     commodity._offer_ids = itertools.count(1)
@@ -35,15 +35,32 @@ def _measure(world, query, mode, faulty: bool):
         m = run_qt_faulty(
             world, query, FaultPlan(), timeout=None,
             mode=mode, offer_cache=None, use_offer_cache=False,
+            tracer=tracer,
         )
     else:
         m = run_qt(
-            world, query, mode=mode, offer_cache=None, use_offer_cache=False
+            world, query, mode=mode, offer_cache=None,
+            use_offer_cache=False, tracer=tracer,
         )
     return (
         m.found, m.plan_cost, m.optimization_time, m.messages,
         m.offers, m.iterations,
     )
+
+
+def _pinpoint(world, query, mode) -> str:
+    """Re-run both sides traced and locate the first divergent record.
+
+    Trace streams are deterministic, so structurally diffing them names
+    the exact record where the null fault plan perturbed the run —
+    far more actionable than two mismatched signature tuples.
+    """
+    from repro.obs import Tracer, diff_records
+
+    tracer_a, tracer_b = Tracer(), Tracer()
+    _measure(world, query, mode, faulty=False, tracer=tracer_a)
+    _measure(world, query, mode, faulty=True, tracer=tracer_b)
+    return diff_records(tracer_a.records, tracer_b.records).render()
 
 
 def test_zero_fault_equivalence_sweep():
@@ -57,5 +74,6 @@ def test_zero_fault_equivalence_sweep():
         nulled = _measure(world, query, mode, faulty=True)
         assert plain == nulled, (
             f"null fault plan perturbed config {(nodes, n_relations, fragments, replicas, joins, mode)}: "
-            f"{plain} != {nulled}"
+            f"{plain} != {nulled}\n"
+            + _pinpoint(world, query, mode)
         )

@@ -63,7 +63,7 @@ def _signature(measurement, fields=COMPARED_FIELDS):
     return {field: getattr(measurement, field) for field in fields}
 
 
-def _measure(config, workers):
+def _measure(config, workers, tracer=None):
     nodes, n_relations, fragments, replicas, joins, mode = config
     # Offer ids come from a module-global counter; reset it so runs mint
     # identical ids and explain() strings are comparable byte-for-byte.
@@ -77,9 +77,25 @@ def _measure(config, workers):
     # and statistics, so both runs must start cold.
     measurement = run_qt(
         world, query, mode=mode, workers=workers,
-        offer_cache=OfferCache(),
+        offer_cache=OfferCache(), tracer=tracer,
     )
     return _signature(measurement)
+
+
+def _pinpoint(run) -> str:
+    """Re-run both sides traced and locate the first divergent record.
+
+    ``run(workers, tracer)`` must repeat the exact measurement; the
+    deterministic trace streams are then structurally diffed so an
+    equivalence failure names the divergence site instead of dumping
+    two opaque signatures.
+    """
+    from repro.obs import Tracer, diff_records
+
+    tracer_a, tracer_b = Tracer(), Tracer()
+    run(1, tracer_a)
+    run(4, tracer_b)
+    return diff_records(tracer_a.records, tracer_b.records).render()
 
 
 def test_parallel_equivalence_sweep():
@@ -88,7 +104,8 @@ def test_parallel_equivalence_sweep():
         parallel = _measure(config, workers=4)
         assert serial == parallel, (
             f"workers=4 diverged from serial on config {config}: "
-            f"{ {k: (serial[k], parallel[k]) for k in serial if serial[k] != parallel[k]} }"
+            f"{ {k: (serial[k], parallel[k]) for k in serial if serial[k] != parallel[k]} }\n"
+            + _pinpoint(lambda w, t: _measure(config, w, tracer=t))
         )
 
 
@@ -125,23 +142,23 @@ def test_parallel_equivalence_low_dp_threshold():
 
 
 def test_faulty_parallel_equivalence():
-    def run(workers):
+    def run(workers, tracer=None):
         commodity._offer_ids = itertools.count(1)
         world = build_world(nodes=12, n_relations=7, seed=7)
         query = chain_query(4, selection_cat=3)
         fault_plan = FaultPlan.from_file(str(FAULT_PLAN))
         measurement = run_qt_faulty(
             world, query, fault_plan, timeout=0.05, mode="dp",
-            workers=workers, offer_cache=OfferCache(),
+            workers=workers, offer_cache=OfferCache(), tracer=tracer,
         )
         return _signature(measurement, FAULT_FIELDS)
 
     serial = run(1)
     parallel = run(4)
-    assert serial == parallel, {
+    assert serial == parallel, str({
         k: (serial[k], parallel[k])
         for k in serial
         if serial[k] != parallel[k]
-    }
+    }) + "\n" + _pinpoint(run)
     # The fault machinery actually engaged — this is not a vacuous pass.
     assert serial["dropped"] > 0 or serial["duplicated"] > 0

@@ -1,0 +1,36 @@
+"""The shared provenance envelope for ``BENCH_*.json`` artifacts.
+
+Every benchmark writer stamps its payload with the same four fields
+(``schema_version``, ``git_sha``, ``generated_at``, ``cpu_count``) and
+appends its headline metrics to the bench-history store — both live in
+:mod:`repro.obs.history`; this module is the bench-facing name for them.
+
+Usage, at the top of a writer's payload::
+
+    from repro.bench.envelope import bench_envelope, history
+
+    payload = {**bench_envelope(), "benchmark": ..., ...}
+    history(REPO_ROOT).append("enumeration", {"eight_join_speedup": s})
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA_VERSION,
+    BenchHistory,
+    run_envelope as bench_envelope,
+)
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "bench_envelope",
+    "history",
+]
+
+
+def history(repo_root: str | Path) -> BenchHistory:
+    """The repository's bench-history store, rooted at *repo_root*."""
+    return BenchHistory(Path(repo_root) / DEFAULT_HISTORY_PATH)

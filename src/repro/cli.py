@@ -6,6 +6,9 @@ Usage::
         --nodes 8 --relations 3 --fragments 4 --replicas 2
     python -m repro trade "SELECT * FROM R0 r0 WHERE r0.cat = 3" \
         --fault-plan examples/fault_plan.json --timeout 0.05
+    python -m repro explain "SELECT ..." --subquery R1 --json
+    python -m repro diff-trace run_a.jsonl run_b.jsonl.gz
+    python -m repro bench-check --regress-pct 0.5
     python -m repro telecom --offices 4 --views
     python -m repro experiment E3 E9
     python -m repro experiment --all
@@ -59,6 +62,41 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
 }
 
 
+def _add_negotiation_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by every subcommand that runs a negotiation."""
+    parser.add_argument("sql", help="SPJ(+aggregate) query text")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--relations", type=int, default=3)
+    parser.add_argument("--rows", type=int, default=10_000)
+    parser.add_argument("--fragments", type=int, default=4)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--plangen", choices=("dp", "idp"), default="dp",
+        help="buyer plan generator variant",
+    )
+    parser.add_argument(
+        "--fault-plan", metavar="JSON",
+        help="JSON fault-plan file (see examples/fault_plan.json); "
+             "negotiate under injected faults with the resilience stack",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=0.05,
+        help="negotiation round deadline in simulated seconds "
+             "(with --fault-plan; default 0.05)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-issues of an all-silent round (with --fault-plan)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the parallel trading engine "
+             "(offer farm + partitioned buyer DP); results are "
+             "byte-identical to --workers 1",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -72,57 +110,75 @@ def _build_parser() -> argparse.ArgumentParser:
     trade = sub.add_parser(
         "trade", help="optimize one SQL query over a synthetic federation"
     )
-    trade.add_argument("sql", help="SPJ(+aggregate) query text")
-    trade.add_argument("--nodes", type=int, default=8)
-    trade.add_argument("--relations", type=int, default=3)
-    trade.add_argument("--rows", type=int, default=10_000)
-    trade.add_argument("--fragments", type=int, default=4)
-    trade.add_argument("--replicas", type=int, default=2)
-    trade.add_argument("--seed", type=int, default=7)
-    trade.add_argument(
-        "--plangen", choices=("dp", "idp"), default="dp",
-        help="buyer plan generator variant",
-    )
+    _add_negotiation_args(trade)
     trade.add_argument(
         "--execute", action="store_true",
         help="materialize data, execute the plan, verify vs. centralized",
     )
     trade.add_argument(
-        "--fault-plan", metavar="JSON",
-        help="JSON fault-plan file (see examples/fault_plan.json); "
-             "negotiate under injected faults with the resilience stack",
-    )
-    trade.add_argument(
-        "--timeout", type=float, default=0.05,
-        help="negotiation round deadline in simulated seconds "
-             "(with --fault-plan; default 0.05)",
-    )
-    trade.add_argument(
-        "--max-retries", type=int, default=2,
-        help="re-issues of an all-silent round (with --fault-plan)",
-    )
-    trade.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for the parallel trading engine "
-             "(offer farm + partitioned buyer DP); results are "
-             "byte-identical to --workers 1",
-    )
-    trade.add_argument(
-        "--trace", metavar="PATH",
+        "--trace-out", "--trace", dest="trace", metavar="PATH",
         help="record the negotiation and write the trace to PATH "
              "(Chrome trace_event JSON for chrome://tracing / Perfetto, "
-             "or flat JSONL)",
+             "or flat JSONL; a .gz suffix gzip-compresses)",
     )
     trade.add_argument(
         "--trace-format", choices=("chrome", "jsonl"),
-        help="trace file format; inferred from the --trace extension "
-             "when omitted (.jsonl -> jsonl, anything else -> chrome)",
+        help="trace file format; inferred from the --trace-out extension "
+             "when omitted (.jsonl / .jsonl.gz -> jsonl, anything else "
+             "-> chrome)",
     )
     trade.add_argument(
         "--timeline", action="store_true",
         help="print an ASCII per-site timeline of the traced "
              "negotiation (implies tracing)",
     )
+
+    explain = sub.add_parser(
+        "explain",
+        help="run one traced trade and audit why each site won "
+             "its commodity (decision-ledger provenance)",
+    )
+    _add_negotiation_args(explain)
+    explain.add_argument(
+        "--subquery", metavar="KEY",
+        help="restrict the breakdown to awarded commodities whose "
+             "query key contains KEY",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the audit as JSON (byte-identical across worker "
+             "counts and repeated same-seed runs)",
+    )
+
+    diff_trace = sub.add_parser(
+        "diff-trace",
+        help="structurally diff two deterministic traces; exit 1 and "
+             "pinpoint the first divergent record if they differ",
+    )
+    diff_trace.add_argument("a", help="first trace (JSONL/Chrome, .gz ok)")
+    diff_trace.add_argument("b", help="second trace")
+    diff_trace.add_argument(
+        "--context", type=int, default=3,
+        help="shared-prefix records to show before the divergence",
+    )
+    diff_trace.add_argument("--json", action="store_true")
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help="check the bench-history store against the regression gates",
+    )
+    bench_check.add_argument(
+        "--history", metavar="PATH",
+        default="benchmarks/results/bench_history.jsonl",
+        help="bench-history JSONL store "
+             "(default benchmarks/results/bench_history.jsonl)",
+    )
+    bench_check.add_argument(
+        "--regress-pct", type=float, default=None, metavar="FRACTION",
+        help="also fail if a speedup metric dropped by more than this "
+             "fraction vs the previous same-CPU-count entry (e.g. 0.5)",
+    )
+    bench_check.add_argument("--json", action="store_true")
 
     telecom = sub.add_parser(
         "telecom", help="run the paper's motivating telecom scenario"
@@ -145,9 +201,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     report = sub.add_parser(
-        "report", help="summarize a trace written by trade --trace"
+        "report", help="summarize traces written by trade --trace-out"
     )
-    report.add_argument("path", help="trace file (Chrome JSON or JSONL)")
+    report.add_argument(
+        "path",
+        help="trace file (Chrome JSON or JSONL, .gz ok) or a directory "
+             "of traces for a cross-run aggregate",
+    )
     report.add_argument(
         "--top", type=int, default=8,
         help="how many slowest spans to list (default 8)",
@@ -157,7 +217,22 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_trade(args: argparse.Namespace) -> int:
+def _negotiate(args: argparse.Namespace, tracer=None):
+    """Build a federation from ``args`` and run one negotiation.
+
+    Returns ``(result, injector, world, query, exit_code)``; on a
+    setup error ``result`` is ``None`` and ``exit_code`` explains why.
+    Shared by ``trade`` and ``explain`` so both see the identical
+    federation.
+    """
+    import itertools
+
+    import repro.trading.commodity as commodity_mod
+
+    # Offer ids come from a module-global counter; reseed it so repeated
+    # same-seed invocations mint identical ids and traces/ledgers are
+    # byte-comparable across runs and worker counts.
+    commodity_mod._offer_ids = itertools.count(1)
     world = build_world(
         nodes=args.nodes,
         n_relations=args.relations,
@@ -170,13 +245,9 @@ def _cmd_trade(args: argparse.Namespace) -> int:
         query = parse_query(args.sql, world.catalog.schemas)
     except ParseError as exc:
         print(f"cannot parse query: {exc}", file=sys.stderr)
-        return 2
+        return None, None, None, None, 2
     network = Network(world.model)
-    tracer = None
-    if args.trace or args.timeline:
-        from repro.obs import Tracer
-
-        tracer = Tracer()
+    if tracer is not None:
         network.attach_tracer(tracer)
     injector = None
     if args.fault_plan:
@@ -184,7 +255,7 @@ def _cmd_trade(args: argparse.Namespace) -> int:
             fault_plan = FaultPlan.from_file(args.fault_plan)
         except (OSError, ValueError) as exc:
             print(f"cannot load fault plan: {exc}", file=sys.stderr)
-            return 2
+            return None, None, None, None, 2
         injector = FaultInjector(fault_plan)
         network.install_faults(injector)
     if injector:
@@ -211,6 +282,18 @@ def _cmd_trade(args: argparse.Namespace) -> int:
         result = ResilientTrader(trader, injector).optimize(query)
     else:
         result = trader.optimize(query)
+    return result, injector, world, query, 0
+
+
+def _cmd_trade(args: argparse.Namespace) -> int:
+    tracer = None
+    if args.trace or args.timeline:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    result, injector, world, query, code = _negotiate(args, tracer)
+    if result is None:
+        return code
     if tracer is not None:
         _export_trace(tracer, args)
     if not result.found:
@@ -253,7 +336,8 @@ def _export_trace(tracer, args: argparse.Namespace) -> None:
     if args.trace:
         fmt = args.trace_format
         if fmt is None:
-            fmt = "jsonl" if args.trace.endswith(".jsonl") else "chrome"
+            stem = args.trace[:-3] if args.trace.endswith(".gz") else args.trace
+            fmt = "jsonl" if stem.endswith(".jsonl") else "chrome"
         if fmt == "chrome":
             write_chrome_trace(tracer.records, args.trace)
         else:
@@ -265,9 +349,102 @@ def _export_trace(tracer, args: argparse.Namespace) -> None:
         print(render_timeline(tracer.records))
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs import load_trace, render_report
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, explain
 
+    tracer = Tracer()
+    result, _injector, _world, _query, code = _negotiate(args, tracer)
+    if result is None:
+        return code
+    if result.ledger is None:
+        print("no decision ledger was recorded", file=sys.stderr)
+        return 1
+    explanation = explain(result, subquery=args.subquery)
+    if args.json:
+        print(explanation.to_json())
+    else:
+        try:
+            print(explanation.render())
+        except BrokenPipeError:
+            return 0
+    return 0 if explanation.found else 1
+
+
+def _cmd_diff_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs import diff_rows, load_trace
+
+    try:
+        rows_a = load_trace(args.a)
+        rows_b = load_trace(args.b)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load trace: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_rows(rows_a, rows_b, context=args.context)
+    if args.json:
+        print(json_module.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
+    return 0 if diff.identical else 1
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs import (
+        DEFAULT_GATES,
+        BenchHistory,
+        check_drift,
+        check_gates,
+        render_check,
+    )
+
+    store = BenchHistory(args.history)
+    history = store.load()
+    if not history:
+        print(f"no bench history at {args.history}", file=sys.stderr)
+        return 2
+    latest = store.latest()
+    verdicts = check_gates(latest, DEFAULT_GATES)
+    if args.regress_pct is not None:
+        verdicts += check_drift(store, latest, args.regress_pct)
+    failed = [v for v in verdicts if v["status"] == "FAIL"]
+    if args.json:
+        print(json_module.dumps(
+            {"history": args.history, "entries": len(history),
+             "verdicts": verdicts, "failed": len(failed)},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(render_check(latest, verdicts))
+    return 1 if failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import (
+        load_trace,
+        load_trace_dir,
+        render_multi_report,
+        render_report,
+    )
+
+    if os.path.isdir(args.path):
+        try:
+            runs = load_trace_dir(args.path)
+        except OSError as exc:
+            print(f"cannot read trace directory: {exc}", file=sys.stderr)
+            return 2
+        if not runs:
+            print("no readable traces in directory", file=sys.stderr)
+            return 1
+        try:
+            print(render_multi_report(runs, top=args.top))
+        except BrokenPipeError:
+            return 0
+        return 0
     try:
         rows = load_trace(args.path)
     except (OSError, ValueError) as exc:
@@ -371,6 +548,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "trade": _cmd_trade,
+        "explain": _cmd_explain,
+        "diff-trace": _cmd_diff_trace,
+        "bench-check": _cmd_bench_check,
         "telecom": _cmd_telecom,
         "experiment": _cmd_experiment,
         "report": _cmd_report,

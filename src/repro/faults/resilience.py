@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.faults.injector import FaultInjector
 from repro.net.messages import Message, MessageKind
+from repro.obs.ledger import NegotiationLedger
 from repro.obs.metrics import RunTelemetry
 from repro.trading.buyer import BuyerPlanGenerator, CandidatePlan, PlanGenResult
 from repro.trading.contracts import Contract
@@ -139,6 +140,9 @@ class ResilientTrader:
             result.telemetry = RunTelemetry.from_records(
                 tracer.records[mark:]
             )
+            result.ledger = NegotiationLedger.from_records(
+                tracer.records[mark:]
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -190,6 +194,14 @@ class ResilientTrader:
         surviving = [c for c in prior.contracts if c.seller not in excluded]
         summary.contracts_voided += len(voided)
         summary.voided.extend(c.void() for c in voided)
+        if net.tracer.enabled:
+            for contract in voided:
+                net.tracer.event(
+                    "ledger.void", "decision", site=trader.buyer,
+                    offer=contract.offer.offer_id,
+                    seller=contract.seller,
+                    request=contract.offer.request_key,
+                )
         self._notify_voided(voided)
 
         # Re-trade each uncovered subquery against the surviving sites.

@@ -19,7 +19,10 @@ list:
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
+from contextlib import contextmanager
 from typing import Iterable, Sequence, TextIO
 
 from repro.obs.tracer import CAT_PARALLEL, NO_PARENT, TraceRecord
@@ -93,12 +96,33 @@ def chrome_trace_events(records: Sequence[TraceRecord]) -> list[dict]:
     return events
 
 
+@contextmanager
+def _open_text_write(path: str):
+    """Open *path* for text writing; ``.gz`` paths are gzip-compressed.
+
+    The gzip header is written with a zero mtime and no embedded
+    filename, so compressed deterministic traces are byte-identical
+    across runs, not merely equal after decompression.
+    """
+    path = str(path)
+    if path.endswith(".gz"):
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(
+                fileobj=raw, mode="wb", mtime=0, filename=""
+            ) as gz:
+                with io.TextIOWrapper(gz, encoding="utf-8") as fh:
+                    yield fh
+    else:
+        with open(path, "w") as fh:
+            yield fh
+
+
 def write_chrome_trace(records: Sequence[TraceRecord], path: str) -> None:
     payload = {
         "traceEvents": chrome_trace_events(records),
         "displayTimeUnit": "ms",
     }
-    with open(path, "w") as fh:
+    with _open_text_write(path) as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
         fh.write("\n")
 
@@ -165,7 +189,7 @@ def write_jsonl(
         for line in jsonl_lines(records, deterministic_only):
             path_or_file.write(line + "\n")
         return
-    with open(path_or_file, "w") as fh:
+    with _open_text_write(path_or_file) as fh:
         for line in jsonl_lines(records, deterministic_only):
             fh.write(line + "\n")
 

@@ -14,10 +14,21 @@ the quantities a profiling pass actually wants:
 
 from __future__ import annotations
 
+import gzip
 import json
+import os
 from typing import Any, Iterable, Sequence
 
-__all__ = ["load_trace", "summarize", "render_report"]
+__all__ = [
+    "load_trace",
+    "load_trace_dir",
+    "summarize",
+    "render_report",
+    "render_multi_report",
+]
+
+#: File suffixes the directory loader treats as traces.
+TRACE_SUFFIXES = (".json", ".jsonl", ".json.gz", ".jsonl.gz", ".trace")
 
 
 def _normalize(row: dict) -> dict:
@@ -35,9 +46,17 @@ def _normalize(row: dict) -> dict:
 
 
 def load_trace(path: str) -> list[dict]:
-    """Trace rows from *path*; JSONL and Chrome JSON are auto-detected."""
-    with open(path) as fh:
-        text = fh.read()
+    """Trace rows from *path*; JSONL and Chrome JSON are auto-detected,
+    gzip-compressed traces (``.jsonl.gz`` etc.) read transparently (by
+    magic bytes, so any filename works)."""
+    with open(path, "rb") as fh:
+        magic = fh.read(2)
+    if magic == b"\x1f\x8b":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        with open(path) as fh:
+            text = fh.read()
     stripped = text.lstrip()
     data = None
     if stripped.startswith("{") or stripped.startswith("["):
@@ -263,5 +282,94 @@ def render_report(rows: Sequence[dict], top: int = 8) -> str:
         out.append(
             f"simulator queue: max {summary['pending_max']:.0f} pending "
             "events (cancelled timers excluded)"
+        )
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+def load_trace_dir(path: str) -> list[tuple[str, list[dict]]]:
+    """Every trace in directory *path*, as ``(filename, rows)`` pairs.
+
+    Files are matched by :data:`TRACE_SUFFIXES` and loaded in name
+    order; unreadable files are skipped (a directory of traces often
+    holds a partial write from an interrupted run).
+    """
+    runs: list[tuple[str, list[dict]]] = []
+    for name in sorted(os.listdir(path)):
+        if not name.endswith(TRACE_SUFFIXES):
+            continue
+        full = os.path.join(path, name)
+        if not os.path.isfile(full):
+            continue
+        try:
+            rows = load_trace(full)
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+        if rows:
+            runs.append((name, rows))
+    return runs
+
+
+def render_multi_report(
+    runs: Sequence[tuple[str, list[dict]]], top: int = 8
+) -> str:
+    """A cross-run aggregate over several traces of the same workload.
+
+    One row per run (records, simulated span, messages, faults), then
+    per-phase statistics across runs: in how many runs the phase
+    appears, and the mean/max of each run's total simulated time in it.
+    """
+    if not runs:
+        return "(no traces loaded)"
+    summaries = [(name, summarize(rows, top=top)) for name, rows in runs]
+
+    out = [f"cross-run report: {len(runs)} trace(s)"]
+    out.append("")
+    out.append("runs:")
+    out.append(
+        _table(
+            ["trace", "records", "sim span", "messages", "faults"],
+            [
+                [
+                    name,
+                    len(rows),
+                    f"{summary['sim_span']:.6f}",
+                    sum(a["count"] for a in summary["messages"].values()),
+                    sum(summary["faults"].values()),
+                ]
+                for (name, rows), (_n, summary) in zip(runs, summaries)
+            ],
+        )
+    )
+
+    # Per-phase totals across runs: mean and max of each run's total.
+    per_phase: dict[str, list[dict]] = {}
+    for _name, summary in summaries:
+        for phase, agg in summary["phases"].items():
+            per_phase.setdefault(phase, []).append(agg)
+    if per_phase:
+        out.append("")
+        out.append("phases across runs (per-run simulated totals):")
+        ordered = sorted(
+            per_phase.items(),
+            key=lambda kv: sum(a["total"] for a in kv[1]),
+            reverse=True,
+        )
+        out.append(
+            _table(
+                ["phase", "runs", "count", "mean total", "max total",
+                 "max span"],
+                [
+                    [
+                        phase,
+                        len(aggs),
+                        sum(int(a["count"]) for a in aggs),
+                        f"{sum(a['total'] for a in aggs) / len(aggs):.6f}",
+                        f"{max(a['total'] for a in aggs):.6f}",
+                        f"{max(a['max'] for a in aggs):.6f}",
+                    ]
+                    for phase, aggs in ordered
+                ],
+            )
         )
     return "\n".join(out)

@@ -98,6 +98,29 @@ def _prepare_chunk(agents: Mapping[str, "SellerAgent"], rfb: RequestForBids):
     return {node: _prepare_worker(agent, rfb) for node, agent in agents.items()}
 
 
+def _remap_provenance(
+    events: list[TraceRecord], base: int
+) -> list[TraceRecord]:
+    """Worker ``ledger.*`` rows with creation-index offer ids rebased.
+
+    Shipped rows are left untouched (copies are made) so a batch can be
+    inspected after consumption.
+    """
+    remapped = []
+    for row in events:
+        args = row.args
+        if (
+            args is not None
+            and row.name.startswith("ledger.")
+            and "offer" in args
+        ):
+            args = dict(args)
+            args["offer"] = base + args["offer"]
+            row = replace(row, args=args)
+        remapped.append(row)
+    return remapped
+
+
 @dataclass
 class _Batch:
     """One seller's precomputed round, awaiting consumption."""
@@ -167,17 +190,12 @@ class RoundPrefetch:
                 )
             return None
         self._consumed.add(node)
-        # Worker trace rows first (the prepare_offers span and its cache
-        # hits/misses), exactly where the serial call would have recorded
-        # them; the store replay below never evicts (capacity-crossing
-        # batches were invalidated), so it emits no events of its own.
-        tracer.absorb(batch.events)
-        cache = agent.offer_cache
-        if cache is not None:
-            cache.stats.add(batch.stats)
-            for key, result in batch.stored:
-                cache.store(key, result)
+        # Mint the real offer ids before touching the tracer: worker
+        # offers carry 0-based creation indices, and so do the ``offer``
+        # args of any worker-recorded ``ledger.*`` decision rows — both
+        # remap to ``base + index`` so provenance ids match serial.
         offers = batch.offers
+        events = batch.events
         if batch.total_created:
             base = commodity.next_offer_id()
             for _ in range(batch.total_created - 1):
@@ -186,6 +204,18 @@ class RoundPrefetch:
                 replace(offer, offer_id=base + offer.offer_id)
                 for offer in offers
             ]
+            events = _remap_provenance(events, base)
+        # Worker trace rows next (the prepare_offers span, its cache
+        # hits/misses, and the pricing decisions), exactly where the
+        # serial call would have recorded them; the store replay below
+        # never evicts (capacity-crossing batches were invalidated), so
+        # it emits no events of its own.
+        tracer.absorb(events)
+        cache = agent.offer_cache
+        if cache is not None:
+            cache.stats.add(batch.stats)
+            for key, result in batch.stored:
+                cache.store(key, result)
         self._stats.batches_consumed += 1
         if tracer.enabled:
             tracer.event(

@@ -23,6 +23,7 @@ __all__ = [
     "Offer",
     "RequestForBids",
     "coverage_key",
+    "coverage_label",
     "next_offer_id",
 ]
 
@@ -51,6 +52,17 @@ def coverage_key(coverage: Mapping[str, frozenset[int]]) -> CoverageKey:
     """
     return tuple(
         (alias, tuple(sorted(fids))) for alias, fids in sorted(coverage.items())
+    )
+
+
+def coverage_label(key: CoverageKey) -> str:
+    """Compact string form of a coverage key: ``"r0:0,1;r1:2"``.
+
+    Used by the decision-ledger events, where coverage identity must be
+    a JSON scalar (stable across runs and worker counts).
+    """
+    return ";".join(
+        f"{alias}:{','.join(str(f) for f in fids)}" for alias, fids in key
     )
 
 

@@ -133,6 +133,17 @@ class NegotiationProtocol:
     ) -> list[Offer]:
         self._ensure_registered(network, buyer, sellers)
         final = self.settle_prices(winning, losing)
+        tracer = network.tracer
+        if tracer.enabled:
+            # Award decisions with *settled* prices (a Vickrey protocol
+            # reprices between winning and final).
+            for offer in final:
+                tracer.event(
+                    "ledger.award", "decision", site=buyer,
+                    offer=offer.offer_id, seller=offer.seller,
+                    query=offer.query.key(), request=offer.request_key,
+                    price=offer.properties.money, protocol=self.name,
+                )
         for offer in final:
             network.send(
                 Message(MessageKind.AWARD, buyer, offer.seller, offer)
@@ -143,6 +154,12 @@ class NegotiationProtocol:
             if (offer.seller, offer.offer_id) in notified:
                 continue
             rejected_sellers.add(offer.seller)
+            if tracer.enabled:
+                tracer.event(
+                    "ledger.reject", "decision", site=buyer,
+                    offer=offer.offer_id, seller=offer.seller,
+                    request=offer.request_key,
+                )
         for seller in sorted(rejected_sellers):
             network.send(Message(MessageKind.REJECT, buyer, seller, None))
         network.run()

@@ -35,7 +35,12 @@ from repro.sql.query import SPJQuery
 from repro.sql.rewrite import RewrittenQuery, rewrite_query
 from repro.sql.views import match_view
 from repro.trading.cache import OfferCache
-from repro.trading.commodity import AnswerProperties, Offer, RequestForBids
+from repro.trading.commodity import (
+    AnswerProperties,
+    Offer,
+    RequestForBids,
+    coverage_label,
+)
 from repro.trading.strategy import (
     CooperativeSellerStrategy,
     SellerContext,
@@ -130,6 +135,10 @@ class SellerAgent:
         #: the offer farm a fresh worker-local tracer whose records ship
         #: back with the offer batch.
         self.tracer: Tracer = NULL_TRACER
+        #: Cache lineage of the most recent :meth:`optimize_cached` call
+        #: ("hit" / "miss" / "none"), read by the decision-ledger
+        #: instrumentation right after the call.
+        self._last_cache_lineage: str = "none"
 
     # ------------------------------------------------------------------
     def prepare_offers(
@@ -150,13 +159,36 @@ class SellerAgent:
     def _prepare(self, rfb: RequestForBids) -> tuple[list[Offer], float]:
         offers: list[Offer] = []
         work = 0.0
+        lineage: dict[str, str] = {}
         for query in rfb.queries:
+            self._last_cache_lineage = "none"
             new_offers, query_work = self._offers_for(
                 query, rfb.reservation_for(query), rfb.round_number
             )
+            lineage[query.key()] = self._last_cache_lineage
             offers.extend(new_offers)
             work += query_work
-        return _dedupe(offers), work
+        deduped = _dedupe(offers)
+        tracer = self.tracer
+        if tracer.enabled:
+            # Decision-ledger provenance: one pricing record per offer
+            # that survives dedupe, carrying the optimization lineage
+            # (offer-cache hit vs fresh DP) of the request it answers.
+            for offer in deduped:
+                tracer.event(
+                    "ledger.priced", "decision", site=self.node,
+                    offer=offer.offer_id,
+                    seller=offer.seller,
+                    request=offer.request_key,
+                    query=offer.query.key(),
+                    coverage=coverage_label(offer.coverage_key()),
+                    exact=offer.exact_projections,
+                    money=offer.properties.money,
+                    total_time=offer.properties.total_time,
+                    cache=lineage.get(offer.request_key, "none"),
+                    round=rfb.round_number,
+                )
+        return deduped, work
 
     # ------------------------------------------------------------------
     def optimize_cached(
@@ -175,6 +207,7 @@ class SellerAgent:
         """
         cache = self.offer_cache
         if cache is None:
+            self._last_cache_lineage = "none"
             result = self.optimizer.optimize(
                 query, self.node, coverage=dict(coverage)
             )
@@ -188,12 +221,14 @@ class SellerAgent:
         )
         cached = cache.lookup(key)
         if cached is not None:
+            self._last_cache_lineage = "hit"
             work = (
                 cached.enumerated
                 * self.seconds_per_plan
                 * cache.hit_work_fraction
             )
             return cached, work
+        self._last_cache_lineage = "miss"
         result = self.optimizer.optimize(
             query, self.node, coverage=dict(coverage)
         )

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.net.simulator import Network, NetworkStats
+from repro.obs.ledger import NegotiationLedger
 from repro.obs.metrics import RunTelemetry
 from repro.optimizer.plans import PlanBuilder, Purchased
 from repro.sql.query import SPJQuery
@@ -34,7 +35,7 @@ from repro.trading.buyer import (
     CandidatePlan,
 )
 from repro.trading.cache import CacheStats
-from repro.trading.commodity import Offer, RequestForBids
+from repro.trading.commodity import Offer, RequestForBids, coverage_label
 from repro.trading.contracts import Contract
 from repro.trading.protocols import BiddingProtocol, NegotiationProtocol
 from repro.trading.seller import SellerAgent
@@ -118,6 +119,10 @@ class TradingResult:
     #: Per-run metrics (``None`` unless a tracer was attached to the
     #: network — see :mod:`repro.obs`).
     telemetry: RunTelemetry | None = None
+    #: The negotiation's decision ledger (``None`` unless traced) —
+    #: the causal RFB -> offer -> ranking -> award/void chain behind
+    #: this result; feed it to :func:`repro.obs.explain`.
+    ledger: NegotiationLedger | None = None
 
     @property
     def found(self) -> bool:
@@ -200,6 +205,7 @@ class QueryTrader:
                 found=result.found,
             )
         result.telemetry = RunTelemetry.from_records(tracer.records[mark:])
+        result.ledger = NegotiationLedger.from_records(tracer.records[mark:])
         return result
 
     def _wire_tracer(self, tracer) -> None:
@@ -281,14 +287,19 @@ class QueryTrader:
                         offer.exact_projections,
                     )
                     current = offers.get(key)
-                    if current is None or self.valuation(
-                        offer.properties
-                    ) < self.valuation(current.properties):
+                    value = self.valuation(offer.properties)
+                    kept = current is None or value < self.valuation(
+                        current.properties
+                    )
+                    if kept:
                         offers[key] = offer
+                    if net.tracer.enabled:
+                        self._ledger_offer(
+                            net, offer, current, value, kept, round_number
+                        )
                     # Track per-query market estimates for future
                     # reservations.
                     estimate = estimates.get(offer.query.key())
-                    value = self.valuation(offer.properties)
                     if estimate is None or value < estimate:
                         estimates[offer.query.key()] = value
 
@@ -318,6 +329,16 @@ class QueryTrader:
                 if improved:
                     best = plan_result.best
                     estimates[query.key()] = best.value
+                    if net.tracer.enabled:
+                        net.tracer.event(
+                            "ledger.plan", "decision", site=self.buyer,
+                            round=round_number,
+                            value=best.value,
+                            cost=best.properties.total_time,
+                            purchased=sorted(
+                                leaf.offer_id for leaf in best.purchased()
+                            ),
+                        )
 
                 # B5/B6: derive new queries.
                 required = self.plan_generator.required_coverage(query)
@@ -383,6 +404,41 @@ class QueryTrader:
             trace=trace,
             cache=self._cache_stats().delta_since(start_cache),
             resilience=resilience,
+        )
+
+    # ------------------------------------------------------------------
+    def _ledger_offer(
+        self,
+        net: Network,
+        offer: Offer,
+        current: Offer | None,
+        value: float,
+        kept: bool,
+        round_number: int,
+    ) -> None:
+        """One decision-ledger record per offer entering the buyer's
+        cross-round offer table (only called when tracing is on)."""
+        outcome = (
+            "kept" if kept and current is None
+            else "kept_over" if kept
+            else "dominated"
+        )
+        args = {
+            "offer": offer.offer_id,
+            "seller": offer.seller,
+            "query": offer.query.key(),
+            "coverage": coverage_label(offer.coverage_key()),
+            "exact": offer.exact_projections,
+            "round": round_number,
+            "money": offer.properties.money,
+            "total_time": offer.properties.total_time,
+            "value": value,
+            "outcome": outcome,
+        }
+        if current is not None:
+            args["over"] = current.offer_id
+        net.tracer.event(
+            "ledger.offer", "decision", site=self.buyer, **args
         )
 
     # ------------------------------------------------------------------
