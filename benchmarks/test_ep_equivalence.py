@@ -38,6 +38,10 @@ CONFIGS = [
 ]
 
 COMPARED_FIELDS = (
+    # The label too: experiment tables print it, so a worker-dependent
+    # name (e.g. the farm protocol leaking a "+bidding" suffix) breaks
+    # stdout byte-identity even when every number matches.
+    "optimizer",
     "found",
     "plan_cost",
     "optimization_time",
@@ -139,6 +143,50 @@ def test_parallel_equivalence_low_dp_threshold():
         )
 
     assert run(1, 512) == run(4, 1)
+
+
+def test_twelve_join_full_trade_byte_identical():
+    """The PR 6 acceptance case: a 12-join negotiation at workers {1, 4}.
+
+    Beyond the measurement signature, the decision ledger and the
+    deterministic JSONL trace bytes must match — the strongest form of
+    the equivalence contract, covering every reconstructed decision and
+    every exported byte.  On mismatch the structural trace diff names
+    the first divergent record.
+    """
+    from repro.obs import NegotiationLedger, Tracer
+    from repro.obs.export import jsonl_lines
+
+    def run(workers, tracer=None):
+        commodity._offer_ids = itertools.count(1)
+        world = build_world(
+            nodes=6, n_relations=13, fragments=2, replicas=2, seed=7
+        )
+        query = chain_query(12)
+        measurement = run_qt(
+            world, query, mode="idp", workers=workers,
+            offer_cache=OfferCache(), tracer=tracer,
+        )
+        return _signature(measurement)
+
+    tracer_serial, tracer_parallel = Tracer(), Tracer()
+    serial = run(1, tracer=tracer_serial)
+    parallel = run(4, tracer=tracer_parallel)
+    assert serial == parallel, (
+        str({
+            k: (serial[k], parallel[k])
+            for k in serial
+            if serial[k] != parallel[k]
+        })
+        + "\n"
+        + _pinpoint(run)
+    )
+    ledger_serial = NegotiationLedger.from_records(tracer_serial.records)
+    ledger_parallel = NegotiationLedger.from_records(tracer_parallel.records)
+    assert ledger_serial == ledger_parallel, _pinpoint(run)
+    lines_serial = list(jsonl_lines(tracer_serial.records))
+    lines_parallel = list(jsonl_lines(tracer_parallel.records))
+    assert lines_serial == lines_parallel, _pinpoint(run)
 
 
 def test_faulty_parallel_equivalence():

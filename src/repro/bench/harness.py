@@ -53,6 +53,7 @@ __all__ = [
     "World",
     "Measurement",
     "build_world",
+    "set_parallel_defaults",
     "run_qt",
     "run_qt_faulty",
     "run_distdp",
@@ -62,6 +63,26 @@ __all__ = [
 ]
 
 BUYER = "client"
+
+#: Process-wide fallbacks for the parallel trading engine, consulted by
+#: :func:`run_qt` / :func:`run_qt_faulty` when a caller does not pass
+#: ``workers`` / ``parallel_threshold`` explicitly.  ``repro experiment
+#: --workers N`` sets these (via :func:`set_parallel_defaults`) when it
+#: runs a *single* experiment in-process, so the experiment's internal
+#: trades parallelize; the farmed multi-experiment path leaves them
+#: alone so worker processes never nest pools.  The byte-identical
+#: equivalence contract makes the setting unobservable in results.
+PARALLEL_DEFAULTS = {"workers": 1, "parallel_threshold": 512}
+
+
+def set_parallel_defaults(
+    workers: int | None = None, parallel_threshold: int | None = None
+) -> None:
+    """Set process-wide parallel engine fallbacks (see PARALLEL_DEFAULTS)."""
+    if workers is not None:
+        PARALLEL_DEFAULTS["workers"] = workers
+    if parallel_threshold is not None:
+        PARALLEL_DEFAULTS["parallel_threshold"] = parallel_threshold
 
 
 @dataclass
@@ -180,19 +201,27 @@ def run_qt(
     valuation=None,
     max_iterations: int = 6,
     subcontracting: bool = False,
-    workers: int = 1,
+    workers: int | None = None,
+    parallel_threshold: int | None = None,
     tracer=None,
     **agent_kwargs,
 ) -> Measurement:
     """Run the QT optimizer over a fresh network; return its measurement.
 
     ``workers > 1`` engages the parallel trading engine (offer farm +
-    partitioned buyer DP); results are byte-identical to ``workers=1``.
-    Pass a :class:`repro.obs.Tracer` as *tracer* to record the
-    negotiation (the trader wires it through every layer).
+    full-lattice buyer DP, levels shipped once their estimated join
+    pairs reach *parallel_threshold*); results are byte-identical to
+    ``workers=1``.  Both parameters fall back to
+    :data:`PARALLEL_DEFAULTS` when ``None``.  Pass a
+    :class:`repro.obs.Tracer` as *tracer* to record the negotiation
+    (the trader wires it through every layer).
     """
     from repro.trading import Subcontractor
 
+    if workers is None:
+        workers = PARALLEL_DEFAULTS["workers"]
+    if parallel_threshold is None:
+        parallel_threshold = PARALLEL_DEFAULTS["parallel_threshold"]
     network = Network(world.model)
     if tracer is not None:
         network.attach_tracer(tracer)
@@ -203,6 +232,11 @@ def run_qt(
             agent.subcontractor.connect(
                 {m: peer for m, peer in sellers.items() if m != node}, network
             )
+    # The label must not depend on the worker count: parallel runs farm
+    # the default BiddingProtocol explicitly, but serial runs use the
+    # very same protocol implicitly, so only a caller-passed protocol
+    # may show up in the measurement name.
+    named_protocol = protocol
     if workers > 1:
         from repro.parallel import OfferFarm
 
@@ -210,7 +244,8 @@ def run_qt(
             OfferFarm(workers)
         )
     plangen = BuyerPlanGenerator(
-        world.builder, BUYER, mode=mode, valuation=valuation, workers=workers
+        world.builder, BUYER, mode=mode, valuation=valuation,
+        workers=workers, parallel_threshold=parallel_threshold,
     )
     trader = QueryTrader(
         BUYER,
@@ -223,7 +258,9 @@ def run_qt(
         max_iterations=max_iterations,
     )
     result = trader.optimize(query)
-    name = label or (f"qt-{mode}" + (f"+{protocol.name}" if protocol else ""))
+    name = label or (
+        f"qt-{mode}" + (f"+{named_protocol.name}" if named_protocol else "")
+    )
     return Measurement(
         optimizer=name,
         found=result.found,
@@ -251,7 +288,8 @@ def run_qt_faulty(
     baseline_cost: float | None = None,
     policy: RenegotiationPolicy | None = None,
     max_iterations: int = 6,
-    workers: int = 1,
+    workers: int | None = None,
+    parallel_threshold: int | None = None,
     tracer=None,
     **agent_kwargs,
 ) -> Measurement:
@@ -264,6 +302,10 @@ def run_qt_faulty(
     ``baseline_cost`` (the fault-free plan cost) to have the measurement
     report plan degradation.
     """
+    if workers is None:
+        workers = PARALLEL_DEFAULTS["workers"]
+    if parallel_threshold is None:
+        parallel_threshold = PARALLEL_DEFAULTS["parallel_threshold"]
     network = Network(world.model)
     if tracer is not None:
         network.attach_tracer(tracer)
@@ -278,7 +320,8 @@ def run_qt_faulty(
 
         protocol.attach_farm(OfferFarm(workers))
     plangen = BuyerPlanGenerator(
-        world.builder, BUYER, mode=mode, workers=workers
+        world.builder, BUYER, mode=mode,
+        workers=workers, parallel_threshold=parallel_threshold,
     )
     trader = QueryTrader(
         BUYER,

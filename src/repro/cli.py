@@ -92,8 +92,16 @@ def _add_negotiation_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the parallel trading engine "
-             "(offer farm + partitioned buyer DP); results are "
+             "(offer farm + full-lattice buyer DP); results are "
              "byte-identical to --workers 1",
+    )
+    parser.add_argument(
+        "--parallel-threshold", type=int, default=512, metavar="PAIRS",
+        help="minimum estimated join pairs in a buyer DP lattice level "
+             "before it is shipped to the --workers pool; smaller "
+             "levels run in-process to dodge the IPC tax. Only "
+             "consulted when --workers > 1, and never changes results "
+             "— it only picks where each level runs (default 512)",
     )
 
 
@@ -197,7 +205,15 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--workers", type=int, default=1,
         help="run experiments in parallel worker processes; tables are "
-             "printed in id order and identical to a serial run",
+             "printed in id order and identical to a serial run. With a "
+             "single experiment the workers instead parallelize the "
+             "experiment's own trades (offer farm + lattice buyer DP)",
+    )
+    experiment.add_argument(
+        "--parallel-threshold", type=int, default=512, metavar="PAIRS",
+        help="minimum estimated join pairs before a buyer DP level is "
+             "shipped to the worker pool (single-experiment runs only; "
+             "never changes results — default 512)",
     )
 
     report = sub.add_parser(
@@ -275,6 +291,7 @@ def _negotiate(args: argparse.Namespace, tracer=None):
         BuyerPlanGenerator(
             world.builder, "client", mode=args.plangen,
             workers=args.workers,
+            parallel_threshold=args.parallel_threshold,
         ),
         protocol=protocol,
     )
@@ -531,6 +548,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         except Exception as exc:  # pool unavailable: run serially
             print(f"parallel run unavailable ({exc}); running serially",
                   file=sys.stderr)
+    elif workers > 1:
+        # A single experiment cannot be farmed whole, so parallelize
+        # *inside* it instead: the harness defaults hand every trade the
+        # worker pool (results are byte-identical either way).
+        from repro.bench.harness import set_parallel_defaults
+
+        set_parallel_defaults(
+            workers=workers,
+            parallel_threshold=getattr(args, "parallel_threshold", None),
+        )
     for experiment_id in ids:
         print(_render_experiment(experiment_id))
         print()

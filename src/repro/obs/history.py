@@ -158,6 +158,8 @@ DEFAULT_GATES = (
     Gate("obs_overhead", "worst_null_overhead", "lt", 0.05),
     Gate("parallel", "eight_join_speedup", "ge", 2.0,
          when="speedup_gate_enforced"),
+    Gate("parallel", "twelve_join_buyer_speedup", "ge", 3.0,
+         when="buyer_gate_enforced"),
     Gate("faults", "ef1_cost_stable", "eq", 1),
 )
 
@@ -203,7 +205,8 @@ def check_drift(
     latest: dict[str, dict[str, Any]],
     regress_pct: float,
     metrics=(("enumeration", "eight_join_speedup"),
-             ("parallel", "eight_join_speedup")),
+             ("parallel", "eight_join_speedup"),
+             ("parallel", "twelve_join_buyer_speedup")),
 ) -> list[dict[str, Any]]:
     """Relative regression vs the previous same-CPU-host row.
 

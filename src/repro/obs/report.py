@@ -108,6 +108,7 @@ def summarize(rows: Sequence[dict], top: int = 8) -> dict[str, Any]:
     faults: dict[str, int] = {}
     cache: dict[str, dict[str, int]] = {}
     farm: dict[str, int] = {}
+    partitions: list[dict] = []
     pending_max = None
     sim_span = 0.0
 
@@ -146,6 +147,16 @@ def summarize(rows: Sequence[dict], top: int = 8) -> dict[str, Any]:
         elif row["name"] == "farm.serial_fallback" or row["name"] == "farm.serial_round":
             reason = str(row["args"].get("reason", "?"))
             farm[reason] = farm.get(reason, 0) + 1
+        elif row["name"] == "buyer.level_partition":
+            args = row["args"]
+            partitions.append({
+                "site": row.get("site", "?"),
+                "level": args.get("level"),
+                "masks": args.get("masks"),
+                "pairs": args.get("pairs"),
+                "chunks": args.get("chunks"),
+                "imbalance": args.get("imbalance"),
+            })
 
     slowest.sort(key=lambda r: r["sim_end"] - r["sim_start"], reverse=True)
     return {
@@ -156,6 +167,7 @@ def summarize(rows: Sequence[dict], top: int = 8) -> dict[str, Any]:
         "faults": faults,
         "cache": cache,
         "farm": farm,
+        "partitions": partitions,
         "pending_max": pending_max,
     }
 
@@ -276,6 +288,22 @@ def render_report(rows: Sequence[dict], top: int = 8) -> str:
         out.append("")
         out.append("offer-farm serial fallbacks by reason:")
         out.append(_table(["reason", "count"], sorted(summary["farm"].items())))
+
+    if summary["partitions"]:
+        out.append("")
+        out.append("buyer DP level partitions (cost-based allocation):")
+        out.append(_table(
+            ["site", "level", "masks", "pairs", "chunks", "imbalance"],
+            [
+                [
+                    p["site"], p["level"], p["masks"], p["pairs"],
+                    p["chunks"],
+                    f"{p['imbalance']:.2f}"
+                    if p["imbalance"] is not None else "-",
+                ]
+                for p in summary["partitions"]
+            ],
+        ))
 
     if summary["pending_max"] is not None:
         out.append("")

@@ -8,17 +8,31 @@ contract):
   negotiation round's independent seller offers in worker processes and
   hands them back at the exact simulation points the serial code would
   have computed them.
-* The partitioned buyer DP — ``BuyerPlanGenerator(workers=N)`` splits
-  the 2-way sub-plan frontier across workers (Trummer–Koch style
-  plan-space partitioning) and reduces with the existing pruning rules.
+* The full-lattice buyer DP — ``BuyerPlanGenerator(workers=N)`` ships
+  every level of the subset lattice to the fork pool, masks
+  LPT-partitioned by estimated join work (Trummer–Koch cost-based
+  allocation, :mod:`repro.parallel.partition`) and merged back in
+  serial mask order.  The seller-side DP/IDP optimizer reuses the same
+  allocator for its levels.
 * :func:`~repro.parallel.sweeps.run_sweep` — executes independent
   (world, query, axis-point) benchmark measurements concurrently with
-  job-stable result ordering.
+  job-stable result ordering, LPT-chunking long sweeps by cost hints.
 """
 
 from repro.parallel.offer_farm import OfferFarm, RoundPrefetch
-from repro.parallel.pool import available_cpus, get_pool, shutdown_pools
-from repro.parallel.sweeps import RUNNERS, SweepJob, run_sweep
+from repro.parallel.partition import (
+    bucket_loads,
+    imbalance_ratio,
+    lpt_partition,
+)
+from repro.parallel.pool import (
+    available_cpus,
+    get_pool,
+    run_chunks,
+    shutdown_pools,
+    warm_pool,
+)
+from repro.parallel.sweeps import RUNNERS, SweepJob, job_cost_hint, run_sweep
 
 __all__ = [
     "OfferFarm",
@@ -26,7 +40,13 @@ __all__ = [
     "RUNNERS",
     "SweepJob",
     "available_cpus",
+    "bucket_loads",
     "get_pool",
+    "imbalance_ratio",
+    "job_cost_hint",
+    "lpt_partition",
+    "run_chunks",
     "run_sweep",
     "shutdown_pools",
+    "warm_pool",
 ]

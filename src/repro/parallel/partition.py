@@ -1,0 +1,85 @@
+"""Cost-weighted work partitioning for the parallel lattice schedulers.
+
+Subproblem costs across a DP level are wildly uneven — a handful of
+masks own most of the join pairs — so dealing masks round-robin (the
+PR 3 scheme) plateaus almost immediately: one worker draws the heavy
+masks while the rest idle.  Trummer & Koch ("Parallelizing Query
+Optimization on Shared-Nothing Architectures") allocate the *entire*
+DP lattice by estimated cost instead; this module implements the
+allocation primitive they rely on, Longest-Processing-Time-first
+greedy bin packing (a.k.a. LPT list scheduling):
+
+* items are visited in descending weight (ties broken by original
+  index, so the schedule is deterministic),
+* each item goes to the currently least-loaded bucket (ties broken by
+  bucket index).
+
+LPT's classic guarantee bounds the imbalance: the heaviest bucket
+carries at most ``total/k + max_item`` weight (list-scheduling bound;
+LPT's own bound is the tighter ``4/3 - 1/(3k)`` factor of optimal).
+``tests/test_parallel.py`` property-checks both the bound and the
+exactly-once coverage of every item.
+
+Consumers: the buyer's full-lattice parallel DP
+(:meth:`repro.trading.buyer.BuyerPlanGenerator`), the seller-side
+DP/IDP level scheduler (:mod:`repro.optimizer.dp`), and the sweep
+runner's job chunking (:mod:`repro.parallel.sweeps`).  The partition
+only decides *where* work runs — merge order is always the serial
+order, so scheduling never affects results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+__all__ = ["lpt_partition", "bucket_loads", "imbalance_ratio"]
+
+
+def lpt_partition(
+    weights: Sequence[float], buckets: int
+) -> list[list[int]]:
+    """Partition item indices into at most *buckets* cost-balanced groups.
+
+    Returns one list of item indices per non-empty bucket, each sorted
+    ascending (callers merge results in serial item order, so the order
+    *within* a bucket is presentation only).  Deterministic: equal
+    weights fall back to index order, equal loads to bucket order.
+    """
+    if buckets < 1:
+        raise ValueError("buckets must be positive")
+    n = len(weights)
+    k = min(buckets, n)
+    if k <= 1:
+        return [list(range(n))] if n else []
+    order = sorted(range(n), key=lambda i: (-weights[i], i))
+    heap = [(0.0, b) for b in range(k)]  # (load, bucket) — already sorted
+    assignment: list[list[int]] = [[] for _ in range(k)]
+    for i in order:
+        load, bucket = heapq.heappop(heap)
+        assignment[bucket].append(i)
+        heapq.heappush(heap, (load + weights[i], bucket))
+    for group in assignment:
+        group.sort()
+    return [group for group in assignment if group]
+
+
+def bucket_loads(
+    assignment: Sequence[Sequence[int]], weights: Sequence[float]
+) -> list[float]:
+    """Total weight per bucket of an :func:`lpt_partition` result."""
+    return [sum(weights[i] for i in group) for group in assignment]
+
+
+def imbalance_ratio(loads: Sequence[float]) -> float:
+    """``max_load / mean_load`` of non-empty buckets (1.0 = perfect).
+
+    The diagnostic the ``buyer.level_partition`` trace event reports;
+    degenerate inputs (no buckets, zero total) read as balanced.
+    """
+    if not loads:
+        return 1.0
+    total = sum(loads)
+    if total <= 0:
+        return 1.0
+    return max(loads) * len(loads) / total

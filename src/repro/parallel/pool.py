@@ -2,9 +2,9 @@
 
 One :class:`~concurrent.futures.ProcessPoolExecutor` per worker count,
 created lazily and reused for the life of the process: the offer farm,
-the partitioned buyer DP, and the sweep runner all fan out many small
-task batches, so paying pool start-up once instead of per negotiation
-round is what makes parallelism worth its IPC tax.
+the lattice buyer DP, and the sweep runner all fan out many small task
+batches, so paying pool start-up once instead of per negotiation round
+is what makes parallelism worth its IPC tax.
 
 The ``fork`` start method is preferred (cheap worker start, inherited
 module state); platforms without it fall back to the default context.
@@ -12,10 +12,17 @@ Workers must nevertheless treat inherited globals as stale — e.g. the
 offer-id counter is explicitly reseeded per task (see
 ``repro.parallel.offer_farm``).
 
-All pools are shut down at interpreter exit.  Callers should treat any
-exception from :func:`get_pool` or a submitted future as "parallelism
-unavailable" and fall back to their serial path — the equivalence
-contract makes the fallback free of behavioral change.
+Lifecycle hygiene: every pool is shut down at interpreter exit
+(:func:`shutdown_pools` is idempotent and registered with ``atexit``
+exactly once); a broken pool — a worker killed mid-task poisons a
+``ProcessPoolExecutor`` permanently — is detected and replaced on the
+next :func:`get_pool` call instead of failing every future forever.
+Benchmarks call :func:`warm_pool` so worker spawn cost (the executor
+forks lazily, on first submit) never lands inside a timed region.
+
+Callers should treat any exception from :func:`get_pool` or a submitted
+future as "parallelism unavailable" and fall back to their serial path —
+the equivalence contract makes the fallback free of behavioral change.
 """
 
 from __future__ import annotations
@@ -23,11 +30,19 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
-__all__ = ["available_cpus", "get_pool", "shutdown_pools"]
+__all__ = [
+    "available_cpus",
+    "get_pool",
+    "warm_pool",
+    "run_chunks",
+    "shutdown_pools",
+]
 
 _POOLS: dict[int, ProcessPoolExecutor] = {}
+_WARMED: set[int] = set()
 
 
 def available_cpus() -> int:
@@ -43,18 +58,67 @@ def _context():
 
 
 def get_pool(workers: int) -> ProcessPoolExecutor:
-    """The shared executor for *workers* processes (created on demand)."""
+    """The shared executor for *workers* processes (created on demand).
+
+    A previously created pool that has broken (worker death poisons the
+    executor) is discarded and replaced, so one crashed task does not
+    permanently disable parallelism for the rest of the process.
+    """
     if workers < 1:
         raise ValueError("workers must be positive")
     pool = _POOLS.get(workers)
+    if pool is not None and getattr(pool, "_broken", False):
+        pool.shutdown(wait=False, cancel_futures=True)
+        _POOLS.pop(workers, None)
+        _WARMED.discard(workers)
+        pool = None
     if pool is None:
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=_context())
         _POOLS[workers] = pool
     return pool
 
 
+def _warm_task(seconds: float) -> int:
+    """Hold a worker briefly so every process actually spawns."""
+    time.sleep(seconds)
+    return os.getpid()
+
+
+def warm_pool(workers: int, hold: float = 0.02) -> ProcessPoolExecutor:
+    """The shared pool with all *workers* processes started and idle.
+
+    ``ProcessPoolExecutor`` forks workers lazily on submit, so a bare
+    :func:`get_pool` leaves spawn cost inside the first caller's timed
+    region — which made small-join benchmark numbers understate speedup.
+    Each warm task holds its worker for *hold* seconds so one fast
+    process cannot service the whole warm-up batch.
+    """
+    pool = get_pool(workers)
+    if workers not in _WARMED:
+        futures = [pool.submit(_warm_task, hold) for _ in range(workers)]
+        for future in futures:
+            future.result()
+        _WARMED.add(workers)
+    return pool
+
+
+def run_chunks(workers: int, fn, chunk_args: list[tuple]) -> list:
+    """Submit ``fn(*args)`` per chunk; results in submission order.
+
+    The level-batch task protocol shared by the lattice schedulers: one
+    pool task per cost-balanced chunk, so per-chunk shared state (the
+    ``PlanBuilder``, the lower DP levels) pickles once per chunk rather
+    than once per mask.  Exceptions propagate to the caller, whose
+    serial fallback is the equivalence-preserving escape hatch.
+    """
+    pool = get_pool(workers)
+    futures = [pool.submit(fn, *args) for args in chunk_args]
+    return [future.result() for future in futures]
+
+
 def shutdown_pools() -> None:
     """Shut down every pool created so far (idempotent)."""
+    _WARMED.clear()
     while _POOLS:
         _, pool = _POOLS.popitem()
         pool.shutdown(wait=False, cancel_futures=True)

@@ -22,9 +22,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import repro.trading.commodity as commodity
-from repro.parallel.pool import get_pool
+from repro.parallel.partition import lpt_partition
+from repro.parallel.pool import get_pool, run_chunks
 
-__all__ = ["SweepJob", "RUNNERS", "run_sweep"]
+__all__ = ["SweepJob", "RUNNERS", "run_sweep", "job_cost_hint"]
 
 
 @dataclass(frozen=True)
@@ -96,18 +97,55 @@ def run_job(job: SweepJob):
     return measurement
 
 
+def job_cost_hint(job: SweepJob) -> float:
+    """Rough relative cost of one job (for chunk balancing only).
+
+    Join-order search dominates a measurement, and its frontier grows
+    with the query's relation count and the catalog's fragment fan-out;
+    ``2**n_relations * fragments`` tracks that well enough for LPT to
+    separate 12-join monsters from 4-join warm-ups.  Hints steer *where*
+    jobs run, never what they compute, so a bad estimate costs balance,
+    not correctness.
+    """
+    n_relations = job.query.get("n_relations", 1)
+    fragments = job.world.get("fragments", 4)
+    return float(2**n_relations * fragments)
+
+
+def _run_job_chunk(jobs: Sequence[SweepJob]) -> list:
+    return [run_job(job) for job in jobs]
+
+
 def run_sweep(jobs: Sequence[SweepJob], workers: int = 1) -> list:
     """All jobs' measurements, in job order.
 
     With ``workers > 1`` the jobs run concurrently in the shared process
     pool; results are gathered in submission order, so the output is
     identical to the serial run (same jobs, same order, same values).
+    Long sweeps (``len(jobs) >= 4 * workers``) are LPT-chunked by
+    :func:`job_cost_hint` so one task's scheduling overhead is paid per
+    chunk rather than per job and heavy jobs spread across workers
+    first; short sweeps keep one task per job for maximum overlap.
     Pool failures fall back to in-process execution.
     """
     jobs = list(jobs)
     if workers <= 1 or len(jobs) < 2:
         return [run_job(job) for job in jobs]
     try:
+        if len(jobs) >= 4 * workers:
+            chunk_indices = lpt_partition(
+                [job_cost_hint(job) for job in jobs], workers
+            )
+            results: list = [None] * len(jobs)
+            chunk_results = run_chunks(
+                min(workers, len(chunk_indices)),
+                _run_job_chunk,
+                [([jobs[i] for i in group],) for group in chunk_indices],
+            )
+            for group, measurements in zip(chunk_indices, chunk_results):
+                for i, measurement in zip(group, measurements):
+                    results[i] = measurement
+            return results
         pool = get_pool(min(workers, len(jobs)))
         futures = [pool.submit(run_job, job) for job in jobs]
         return [future.result() for future in futures]

@@ -8,10 +8,21 @@ coverage key, pickle hygiene for the optimizer's singletons).
 
 import itertools
 import pickle
+import random
 
 import repro.trading.commodity as commodity
 from repro.bench.harness import build_world, run_qt
-from repro.parallel import OfferFarm, SweepJob, run_sweep
+from repro.parallel import (
+    OfferFarm,
+    SweepJob,
+    bucket_loads,
+    imbalance_ratio,
+    lpt_partition,
+    run_chunks,
+    run_sweep,
+    shutdown_pools,
+    warm_pool,
+)
 from repro.sql.expr import TRUE, FALSE, And, Column, Comparison, Literal
 from repro.sql.query import SPJQuery
 from repro.sql.schema import RelationRef
@@ -66,6 +77,170 @@ def test_partitioned_buyer_dp_equivalence():
     assert serial.best.plan.explain() == parallel.best.plan.explain()
     assert [c.value for c in serial.candidates] == [
         c.value for c in parallel.candidates
+    ]
+
+
+def test_lpt_partition_properties():
+    """Every index lands exactly once; imbalance obeys the LPT bound."""
+    rng = random.Random(20260808)
+    cases = [
+        [],  # no items
+        [5.0],  # single item
+        [0.0, 0.0, 0.0],  # all zero weight
+        [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],  # one dominant item
+    ] + [
+        [float(rng.randint(0, 1000)) for _ in range(rng.randint(1, 64))]
+        for _ in range(30)
+    ]
+    for buckets in (1, 2, 4, 7, 16):
+        for weights in cases:
+            assignment = lpt_partition(weights, buckets)
+            # Exactly-once coverage, ascending within each bucket.
+            flat = sorted(i for group in assignment for i in group)
+            assert flat == list(range(len(weights)))
+            for group in assignment:
+                assert group == sorted(group)
+            assert len(assignment) <= min(buckets, len(weights) or 1)
+            # List-scheduling bound: max load <= total/k + max item.
+            loads = bucket_loads(assignment, weights)
+            if weights and sum(weights) > 0:
+                k = min(buckets, len(weights))
+                bound = sum(weights) / k + max(weights)
+                assert max(loads) <= bound + 1e-9
+                assert imbalance_ratio(loads) >= 1.0 - 1e-9
+            # Deterministic: the same inputs give the same partition.
+            assert lpt_partition(weights, buckets) == assignment
+
+
+def test_full_lattice_buyer_dp_equivalence():
+    """Multi-level parallel lattice matches serial byte-for-byte."""
+    commodity._offer_ids = itertools.count(1)
+    world = build_world(nodes=8, n_relations=7, fragments=3, replicas=2,
+                        seed=7)
+    query = chain_query(6, selection_cat=3)
+    rfb = RequestForBids(buyer="client", queries=(query,), round_number=1)
+    offers = []
+    for node in world.nodes:
+        if node == "client":
+            continue
+        agent = SellerAgent(
+            world.catalog.local(node), world.builder, use_offer_cache=False
+        )
+        node_offers, _ = agent.prepare_offers(rfb)
+        offers.extend(node_offers)
+
+    def signature(workers):
+        result = BuyerPlanGenerator(
+            world.builder, "client", workers=workers, parallel_threshold=1
+        ).generate(query, offers)
+        return (
+            result.enumerated,
+            [(c.value, c.plan.explain()) for c in result.candidates],
+        )
+
+    # threshold=1 ships every eligible level (sizes 2..6) to the pool
+    assert signature(1) == signature(4)
+
+
+def test_twelve_join_buyer_dp_byte_identical():
+    """The acceptance case: a 12-join lattice at workers ∈ {1, 4}.
+
+    Sellers use IDP local optimizers so offer generation stays cheap —
+    the subject under test is the buyer's full-lattice parallel DP.
+    """
+    from repro.optimizer import IDPOptimizer
+
+    commodity._offer_ids = itertools.count(1)
+    world = build_world(nodes=6, n_relations=13, fragments=2, replicas=2,
+                        seed=7)
+    query = chain_query(13)
+    rfb = RequestForBids(buyer="client", queries=(query,), round_number=1)
+    offers = []
+    for node in world.nodes:
+        if node == "client":
+            continue
+        agent = SellerAgent(
+            world.catalog.local(node), world.builder,
+            optimizer=IDPOptimizer(world.builder), use_offer_cache=False,
+        )
+        node_offers, _ = agent.prepare_offers(rfb)
+        offers.extend(node_offers)
+
+    def signature(workers):
+        result = BuyerPlanGenerator(
+            world.builder, "client", workers=workers
+        ).generate(query, offers)
+        return (
+            result.enumerated,
+            [(c.value, c.plan.explain()) for c in result.candidates],
+        )
+
+    assert signature(1) == signature(4)
+
+
+def test_seller_dp_parallel_equivalence():
+    """The seller-side DP/IDP reuses the lattice partitioner unchanged."""
+    from repro.optimizer import DynamicProgrammingOptimizer, IDPOptimizer
+
+    world = build_world(nodes=6, n_relations=9, fragments=2, replicas=2,
+                        seed=7)
+    query = chain_query(8)
+    site = world.nodes[1]
+
+    def signature(result):
+        return (
+            result.enumerated,
+            result.plan.explain() if result.plan else None,
+            [
+                (tuple(sorted(subset)), plan.explain())
+                for subset, plan in result.best.items()
+            ],
+        )
+
+    for cls in (DynamicProgrammingOptimizer, IDPOptimizer):
+        serial = cls(world.builder).optimize(query, site)
+        parallel = cls(
+            world.builder, workers=2, parallel_threshold=1
+        ).optimize(query, site)
+        assert signature(serial) == signature(parallel), cls.__name__
+
+
+def test_warm_pool_and_shutdown_idempotent():
+    pool = warm_pool(2)
+    assert warm_pool(2) is pool  # second warm is a no-op
+    assert run_chunks(2, _double, [(3,), (4,), (5,)]) == [6, 8, 10]
+    shutdown_pools()
+    shutdown_pools()  # idempotent
+    # Pools come back after shutdown (atexit can run after manual calls).
+    assert run_chunks(2, _double, [(7,)]) == [14]
+    shutdown_pools()
+
+
+def _double(x):
+    return 2 * x
+
+
+def test_sweep_chunked_path_equivalence():
+    """len(jobs) >= 4*workers engages LPT chunking; order must hold."""
+    jobs = [
+        SweepJob(
+            label=f"qt-{joins}j-{i}",
+            runner="qt",
+            world={"nodes": 8, "n_relations": 4, "seed": 7},
+            query={"n_relations": joins, "selection_cat": 3},
+            run={"offer_cache": None, "use_offer_cache": False},
+        )
+        for i, joins in enumerate((2, 3, 2, 3, 2, 3, 2, 3))
+    ]
+    serial = run_sweep(jobs, workers=1)
+    chunked = run_sweep(jobs, workers=2)
+    assert [m.optimizer for m in chunked] == [j.label for j in jobs]
+    assert [
+        (m.plan_cost, m.optimization_time, m.messages, m.plan_explain)
+        for m in serial
+    ] == [
+        (m.plan_cost, m.optimization_time, m.messages, m.plan_explain)
+        for m in chunked
     ]
 
 
