@@ -1,0 +1,226 @@
+"""Serving benchmark: the federation broker under a bursty workload.
+
+Drives the real thing end to end — a :class:`~repro.broker.
+BrokerService` behind its stdlib HTTP server — with the bursty
+multi-tenant arrival schedule from
+:func:`repro.workload.build_bursty_workload`: several tenants fire
+whole bursts of queries nearly at once, idle, then fire again, which
+stresses admission and queueing far more than a smooth rate would.
+
+Before any number is trusted, determinism is asserted: the plans the
+concurrent broker produces (8 worker threads, shared offer cache) must
+be byte-identical to a serial broker's (1 worker thread) over the same
+workload.  Then two serving runs are measured:
+
+* ``sim`` clock — every session drives a private deterministic
+  simulator, so the run measures pure broker throughput (qps) and
+  per-session service latency (p50/p99) with zero wall-time waits;
+* ``async`` clock — sessions share one real asyncio loop, so protocol
+  deadlines elapse in wall time and the latencies include genuine
+  event-loop scheduling.
+
+Writes ``BENCH_serving.json`` at the repository root and appends a
+``serving`` row to the bench history; ``repro bench-check`` gates on
+``all_sessions_completed``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+import urllib.request
+
+from repro.bench.envelope import bench_envelope, history
+from repro.broker import AdmissionConfig, BrokerService, SessionBudget, start_server
+from repro.workload import BurstConfig, build_bursty_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serving.json"
+
+#: The broker world every run serves (matches the workload's schema).
+WORLD = dict(nodes=8, n_relations=6, rows=10_000, fragments=2, replicas=2, seed=7)
+
+#: Arrival times are in "schedule seconds"; the bench replays them at
+#: this fraction of real time so a full run stays minutes, not hours.
+ARRIVAL_SCALE = 0.2
+
+
+def _http(url: str, payload: dict | None = None) -> tuple[int, dict]:
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method="POST" if data else "GET",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def _plan_signature(result: dict) -> tuple:
+    """What must not change between serial and concurrent serving."""
+    return (
+        result.get("found"),
+        result.get("plan_cost"),
+        result.get("plan"),
+        tuple(result.get("contracts") or ()),
+    )
+
+
+def run_workload(
+    arrivals, clock: str, max_concurrent: int, scale: float = ARRIVAL_SCALE
+) -> dict:
+    """Serve the whole schedule over HTTP; returns metrics + results."""
+    service = BrokerService(
+        world_config=WORLD,
+        clock=clock,
+        admission=AdmissionConfig(
+            max_concurrent=max_concurrent,
+            queue_limit=len(arrivals) + 1,  # measure service, not shedding
+            budget=SessionBudget(rounds=6),
+        ),
+    )
+    server = start_server(service)
+    try:
+        started = time.perf_counter()
+        session_ids = []
+        for arrival in arrivals:
+            due = started + arrival.arrival * scale
+            delay = due - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            status, body = _http(
+                f"{server.url}/sessions",
+                {"sql": arrival.query.sql(), "tenant": arrival.tenant},
+            )
+            assert status == 202, f"submit failed: {status} {body}"
+            session_ids.append(body["session"])
+        assert service.drain(timeout=300.0), "sessions did not drain"
+        elapsed = time.perf_counter() - started
+        results = {}
+        for session_id in session_ids:
+            status, body = _http(f"{server.url}/sessions/{session_id}/result")
+            assert status == 200, f"result failed: {status} {body}"
+            results[session_id] = body
+        _, metrics = _http(f"{server.url}/metrics")
+    finally:
+        server.shutdown_broker()
+    states = [body["state"] for body in results.values()]
+    return {
+        "clock": clock,
+        "max_concurrent": max_concurrent,
+        "sessions": len(session_ids),
+        "elapsed_s": round(elapsed, 3),
+        "qps": round(len(session_ids) / elapsed, 3),
+        "p50_ms": metrics["latency_ms"]["p50"],
+        "p99_ms": metrics["latency_ms"]["p99"],
+        "states": {state: states.count(state) for state in sorted(set(states))},
+        "all_completed": all(state == "completed" for state in states),
+        "results": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload, single sim run + async run",
+    )
+    args = parser.parse_args()
+
+    config = (
+        BurstConfig(tenants=2, bursts=2, burst_size=2, seed=11)
+        if args.quick
+        else BurstConfig(tenants=4, bursts=3, burst_size=4, seed=11)
+    )
+    arrivals = build_bursty_workload(config)
+    print(
+        f"workload: {len(arrivals)} queries, {config.tenants} tenants, "
+        f"{config.bursts} bursts of {config.burst_size}"
+    )
+
+    # Determinism first: concurrent serving must match serial serving
+    # plan for plan before throughput means anything.  Arrivals are
+    # replayed with scale=0 (back to back) so this is pure scheduling.
+    serial = run_workload(arrivals, "sim", max_concurrent=1, scale=0.0)
+    concurrent = run_workload(arrivals, "sim", max_concurrent=8, scale=0.0)
+    serial_sigs = sorted(
+        _plan_signature(r) for r in serial["results"].values()
+    )
+    concurrent_sigs = sorted(
+        _plan_signature(r) for r in concurrent["results"].values()
+    )
+    assert serial_sigs == concurrent_sigs, (
+        "concurrent broker plans diverged from serial broker plans"
+    )
+    print(
+        f"determinism: {len(arrivals)} concurrent plans identical to serial"
+    )
+
+    # The measured runs: bursty arrivals at real (scaled) offsets.
+    sim_row = run_workload(arrivals, "sim", max_concurrent=8)
+    async_row = run_workload(arrivals, "async", max_concurrent=8)
+    for row in (sim_row, async_row):
+        print(
+            f"{row['clock']:>5} clock: {row['qps']} qps  "
+            f"p50={row['p50_ms']}ms p99={row['p99_ms']}ms  "
+            f"states={row['states']}"
+        )
+        row.pop("results")  # plans live in the session API, not the bench
+
+    all_completed = bool(
+        serial["all_completed"]
+        and concurrent["all_completed"]
+        and sim_row["all_completed"]
+        and async_row["all_completed"]
+    )
+    assert all_completed, "a session finished in a non-completed state"
+
+    payload = {
+        **bench_envelope(),
+        "description": (
+            "Broker serving a bursty multi-tenant workload over HTTP: "
+            "qps and p50/p99 session latency under sim and async "
+            "clocks (concurrent plans asserted identical to serial)."
+        ),
+        "quick": args.quick,
+        "world": WORLD,
+        "workload": {
+            "queries": len(arrivals),
+            "tenants": config.tenants,
+            "bursts": config.bursts,
+            "burst_size": config.burst_size,
+            "arrival_scale": ARRIVAL_SCALE,
+            "seed": config.seed,
+        },
+        "determinism": {
+            "serial_vs_concurrent_plans_identical": True,
+            "sessions_compared": len(arrivals),
+        },
+        "sim": sim_row,
+        "async": async_row,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    history(REPO_ROOT).append(
+        "serving",
+        {
+            "qps": sim_row["qps"],
+            "p50_ms": sim_row["p50_ms"],
+            "p99_ms": sim_row["p99_ms"],
+            "async_p99_ms": async_row["p99_ms"],
+            "sessions": len(arrivals),
+            "all_sessions_completed": 1 if all_completed else 0,
+        },
+    )
+    print(f"wrote {OUTPUT.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""HTTP routing for the broker: method+path regex -> service call.
+
+Pure dispatch, no sockets: :meth:`Router.dispatch` takes the method,
+path (with query string), and raw body, and returns ``(status,
+payload)`` with the payload JSON-serializable.  The server module binds
+this to :mod:`http.server`; tests drive it directly.
+
+Endpoints
+---------
+``POST /sessions``            submit a query (202 accepted / 429 shed)
+``GET  /sessions``            list all sessions (status snapshots)
+``GET  /sessions/<id>``       one session's status
+``GET  /sessions/<id>/result``completed result (409 until terminal)
+``GET  /sessions/<id>/explain`` provenance audit (``?subquery=`` filter)
+``GET  /metrics``             serving metrics (occupancy, p50/p99, registry)
+``GET  /healthz``             liveness + occupancy
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.broker.service import BrokerError, BrokerService
+
+__all__ = ["Router"]
+
+_Handler = Callable[..., "tuple[int, dict]"]
+
+
+class Router:
+    """Maps (method, path) onto :class:`BrokerService` calls."""
+
+    def __init__(self, service: BrokerService):
+        self.service = service
+        self._routes: list[tuple[str, re.Pattern, _Handler]] = [
+            ("POST", re.compile(r"^/sessions/?$"), self._submit),
+            ("GET", re.compile(r"^/sessions/?$"), self._list),
+            ("GET", re.compile(r"^/sessions/(?P<sid>[^/]+)/?$"), self._status),
+            (
+                "GET",
+                re.compile(r"^/sessions/(?P<sid>[^/]+)/result/?$"),
+                self._result,
+            ),
+            (
+                "GET",
+                re.compile(r"^/sessions/(?P<sid>[^/]+)/explain/?$"),
+                self._explain,
+            ),
+            ("GET", re.compile(r"^/metrics/?$"), self._metrics),
+            ("GET", re.compile(r"^/healthz/?$"), self._healthz),
+        ]
+
+    def dispatch(
+        self, method: str, target: str, body: bytes = b""
+    ) -> tuple[int, dict]:
+        """Route one request; never raises — errors become payloads."""
+        split = urlsplit(target)
+        path = split.path
+        params = {
+            key: values[0] for key, values in parse_qs(split.query).items()
+        }
+        try:
+            path_matched = False
+            for route_method, pattern, handler in self._routes:
+                match = pattern.match(path)
+                if match is None:
+                    continue
+                if route_method != method:
+                    path_matched = True  # maybe another method owns it
+                    continue
+                return handler(body=body, params=params, **match.groupdict())
+            if path_matched:
+                return 405, {"error": f"{method} not allowed for {path}"}
+            return 404, {"error": f"no route for {path}"}
+        except BrokerError as exc:
+            return exc.status, {"error": exc.message}
+        except Exception as exc:  # never leak a traceback to the wire
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    # -- handlers ----------------------------------------------------------
+    def _submit(self, body: bytes, params: dict) -> tuple[int, dict]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BrokerError(400, f"bad JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BrokerError(400, "body must be a JSON object")
+        spec = self.service.parse_spec(payload)
+        session = self.service.submit(spec)
+        snapshot = session.snapshot()
+        if session.state == "shed":
+            return 429, snapshot
+        return 202, snapshot
+
+    def _list(self, body: bytes, params: dict) -> tuple[int, dict]:
+        return 200, {
+            "sessions": [
+                session.snapshot() for session in self.service.sessions()
+            ]
+        }
+
+    def _status(self, body: bytes, params: dict, sid: str) -> tuple[int, dict]:
+        return 200, self.service.get(sid).snapshot()
+
+    def _result(self, body: bytes, params: dict, sid: str) -> tuple[int, dict]:
+        return 200, self.service.result_payload(sid)
+
+    def _explain(self, body: bytes, params: dict, sid: str) -> tuple[int, dict]:
+        return 200, self.service.explain_payload(
+            sid, subquery=params.get("subquery")
+        )
+
+    def _metrics(self, body: bytes, params: dict) -> tuple[int, dict]:
+        return 200, self.service.metrics_payload()
+
+    def _healthz(self, body: bytes, params: dict) -> tuple[int, dict]:
+        occupancy = self.service.controller.occupancy()
+        return 200, {"status": "ok", **occupancy}

@@ -1,0 +1,96 @@
+"""Zero-dependency HTTP front end for the broker (stdlib only).
+
+A :class:`ThreadingHTTPServer` binds the :class:`~repro.broker.router.
+Router` to a socket: each request thread parses method/path/body, asks
+the router, and writes the JSON response.  ``port=0`` picks a free port
+(tests and the serving benchmark rely on it).
+
+Use :func:`start_server` for the embedded case (returns the running
+server; call :meth:`BrokerHTTPServer.shutdown_broker` when done) and
+``repro serve`` for the CLI daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.broker.router import Router
+from repro.broker.service import BrokerService
+
+__all__ = ["BrokerHTTPServer", "start_server"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "BrokerHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        status, payload = self.server.router.dispatch(
+            self.command, self.path, body
+        )
+        data = json.dumps(payload, sort_keys=True, default=str).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    do_GET = _respond
+    do_POST = _respond
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class BrokerHTTPServer(ThreadingHTTPServer):
+    """The broker's HTTP listener; owns nothing but the router binding."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: BrokerService,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.router = Router(service)
+        self.verbose = verbose
+        self._serve_thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_background(self) -> None:
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="broker-http", daemon=True
+        )
+        self._serve_thread.start()
+
+    def shutdown_broker(self) -> None:
+        """Stop the listener and the underlying service; idempotent."""
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10.0)
+        self.service.close()
+
+
+def start_server(
+    service: BrokerService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> BrokerHTTPServer:
+    """Bind and start serving in a background thread; returns the server."""
+    server = BrokerHTTPServer((host, port), service, verbose=verbose)
+    server.serve_in_background()
+    return server

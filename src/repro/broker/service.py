@@ -1,0 +1,398 @@
+"""The broker service: shared world, concurrent negotiations, metrics.
+
+One :class:`BrokerService` owns
+
+* one federation **world** (catalog, plan builder, cost model) shared by
+  every session,
+* one shared per-site **offer cache** — each session trades through a
+  :meth:`~repro.trading.cache.OfferCache.session_view`, so results
+  cached by any session serve all others while hit/miss accounting
+  stays per-session,
+* one shared **offer-farm worker pool** (``farm_workers > 1``) — the
+  process pool behind :class:`repro.parallel.OfferFarm` is a
+  module-level singleton keyed by worker count, so per-session farm
+  facades all draw from the same pool,
+* the **admission controller** and **session manager** (worker
+  threads), and
+* a :class:`~repro.obs.metrics.MetricsRegistry` with the serving
+  gauges/counters plus a latency reservoir for p50/p99.
+
+Each session gets a *private* network + clock + tracer and runs inside
+its own :mod:`contextvars` context with a private offer-id counter
+(:func:`repro.trading.commodity.offer_id_scope`), so concurrent
+sessions mint exactly the offer-id sequence a serial run would —
+which is what makes broker plans (including their ``offer#N``
+provenance strings) equal to serial library runs.
+
+Two clock modes:
+
+* ``"sim"`` — each session drives a private deterministic
+  :class:`~repro.net.Simulator` on its worker thread.  Negotiations
+  run as fast as the CPU allows; simulated time is still reported.
+* ``"async"`` — sessions share one real :mod:`asyncio` loop thread;
+  each gets its own :class:`~repro.net.AsyncClock`, so deadlines,
+  backoff, and fault timers elapse in wall time.
+
+Offer *arrival* order under wall time is jitter-dependent, so the
+broker negotiates through :class:`OrderedBiddingProtocol`, which sorts
+each round's collected offers by a canonical key before the buyer sees
+them — making the negotiation outcome clock-independent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import itertools
+import threading
+import time
+from typing import Mapping
+
+from repro.bench.harness import BUYER, World, build_world
+from repro.broker.admission import AdmissionConfig, AdmissionController
+from repro.broker.sessions import (
+    BrokerSession,
+    SessionManager,
+    SessionSpec,
+    SHED,
+)
+from repro.net import AsyncClock, Network, Simulator
+from repro.obs import Tracer, explain
+from repro.obs.metrics import MetricsRegistry
+from repro.sql import ParseError, parse_query
+from repro.trading import BiddingProtocol, BuyerPlanGenerator, QueryTrader
+from repro.trading.commodity import Offer, offer_id_scope
+from repro.trading.protocols import SolicitResult
+
+__all__ = ["BrokerError", "OrderedBiddingProtocol", "BrokerService"]
+
+
+class BrokerError(Exception):
+    """A client-visible failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _offer_order_key(offer: Offer) -> tuple:
+    """A total, clock-independent order over one round's offers.
+
+    Seller, offered query, coverage, shape, and price pin the
+    commodity; the (session-scoped, deterministic) offer id breaks any
+    remaining tie.  Arrival order — the one thing wall-time jitter can
+    change — does not appear.
+    """
+    return (
+        offer.seller,
+        offer.query.key(),
+        offer.coverage_key(),
+        offer.exact_projections,
+        offer.properties.money,
+        offer.offer_id,
+    )
+
+
+class OrderedBiddingProtocol(BiddingProtocol):
+    """Sealed-bid bidding with canonical offer ordering per round.
+
+    Under the simulator offers already arrive in a deterministic order;
+    under :class:`~repro.net.AsyncClock` wall-time jitter can reorder
+    them, and the buyer's offer table breaks value ties by arrival.
+    Sorting each round's offers by :func:`_offer_order_key` removes the
+    clock from the outcome — the broker uses this protocol for *both*
+    modes, so sim-clock and async-clock sessions produce identical
+    plans.
+    """
+
+    name = "bidding"  # same wire behavior; only intake order changes
+
+    def _solicit(self, network, buyer, sellers, rfb) -> SolicitResult:
+        result = super()._solicit(network, buyer, sellers, rfb)
+        result.offers.sort(key=_offer_order_key)
+        return result
+
+
+#: Latency reservoir cap — enough for percentile fidelity at bench
+#: scale without unbounded growth in a long-lived daemon.
+_MAX_LATENCIES = 4096
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class BrokerService:
+    """Long-lived multiplexer of concurrent trading sessions."""
+
+    def __init__(
+        self,
+        world: World | None = None,
+        world_config: Mapping | None = None,
+        clock: str = "sim",
+        admission: AdmissionConfig | None = None,
+        farm_workers: int = 1,
+        quiesce_timeout: float = 60.0,
+    ):
+        if clock not in ("sim", "async"):
+            raise ValueError("clock must be 'sim' or 'async'")
+        self.world = world if world is not None else build_world(
+            **dict(world_config or {})
+        )
+        self.clock_mode = clock
+        self.admission_config = admission or AdmissionConfig()
+        self.controller = AdmissionController(self.admission_config)
+        self.farm_workers = farm_workers
+        self.quiesce_timeout = quiesce_timeout
+        self.metrics = MetricsRegistry()
+        self._sessions: dict[str, BrokerSession] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._latencies: list[float] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        if clock == "async":
+            self._start_loop()
+        self.manager = SessionManager(
+            self._run_session, self.controller, on_terminal=self.note_terminal
+        )
+        self._closed = False
+
+    # -- the shared asyncio loop (async mode only) ------------------------
+    def _start_loop(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def _run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(ready.set)
+            self._loop.run_forever()
+
+        self._loop_thread = threading.Thread(
+            target=_run, name="broker-loop", daemon=True
+        )
+        self._loop_thread.start()
+        if not ready.wait(timeout=10.0):
+            raise RuntimeError("broker event loop failed to start")
+
+    # -- submission --------------------------------------------------------
+    def parse_spec(self, payload: Mapping) -> SessionSpec:
+        """Validate a submit payload into a :class:`SessionSpec` (400s)."""
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise BrokerError(400, "missing required field 'sql'")
+        mode = payload.get("mode", "dp")
+        if mode not in ("dp", "idp"):
+            raise BrokerError(400, f"unknown mode {mode!r} (use 'dp' or 'idp')")
+        try:
+            query = parse_query(sql, self.world.catalog.schemas)
+        except ParseError as exc:
+            raise BrokerError(400, f"bad query: {exc}") from exc
+        max_iterations = payload.get("max_iterations")
+        if max_iterations is not None and (
+            not isinstance(max_iterations, int) or max_iterations < 1
+        ):
+            raise BrokerError(400, "max_iterations must be a positive integer")
+        timeout = payload.get("timeout")
+        if timeout is not None and (
+            not isinstance(timeout, (int, float)) or timeout <= 0
+        ):
+            raise BrokerError(400, "timeout must be a positive number")
+        return SessionSpec(
+            sql=sql,
+            query=query,
+            tenant=str(payload.get("tenant", "default")),
+            mode=mode,
+            max_iterations=max_iterations,
+            timeout=timeout,
+            trace=bool(payload.get("trace", True)),
+        )
+
+    def submit(self, spec: SessionSpec) -> BrokerSession:
+        """Queue one negotiation; a shed session comes back terminal."""
+        if self._closed:
+            raise BrokerError(503, "broker is shutting down")
+        session = BrokerSession(f"s{next(self._ids)}", spec)
+        with self._lock:
+            self._sessions[session.session_id] = session
+        self.metrics.inc("broker.sessions_submitted", tenant=spec.tenant)
+        self.manager.submit(session)
+        self._update_gauges()
+        return session
+
+    # -- the per-session negotiation --------------------------------------
+    def _run_session(self, session: BrokerSession) -> None:
+        # A fresh context copy isolates the session's offer-id counter;
+        # asyncio callbacks snapshot the scheduling context, so the
+        # whole callback chain inherits it.
+        context = contextvars.copy_context()
+        self._update_gauges()
+        context.run(self._negotiate, session)
+
+    def _negotiate(self, session: BrokerSession) -> None:
+        with offer_id_scope():
+            if self.clock_mode == "async":
+                clock = AsyncClock(
+                    self._loop, quiesce_timeout=self.quiesce_timeout
+                )
+            else:
+                clock = Simulator()
+            network = Network(self.world.model, clock=clock)
+            if session.spec.trace:
+                network.attach_tracer(Tracer())
+            cache_view = (
+                self.world.offer_cache.session_view()
+                if self.world.offer_cache is not None
+                else None
+            )
+            sellers = self.world.seller_agents(offer_cache=cache_view)
+            protocol = OrderedBiddingProtocol(timeout=session.spec.timeout)
+            if self.farm_workers > 1:
+                from repro.parallel import OfferFarm
+
+                protocol.attach_farm(OfferFarm(self.farm_workers))
+            budget = self.admission_config.budget
+            rounds = budget.rounds
+            if session.spec.max_iterations is not None:
+                rounds = min(rounds, session.spec.max_iterations)
+            plangen = BuyerPlanGenerator(
+                self.world.builder, BUYER, mode=session.spec.mode
+            )
+            trader = QueryTrader(
+                BUYER,
+                sellers,
+                network,
+                plangen,
+                protocol=protocol,
+                max_iterations=rounds,
+                offer_budget=budget.offers,
+            )
+            session.result = trader.optimize(session.spec.query)
+
+    # -- bookkeeping -------------------------------------------------------
+    def note_terminal(self, session: BrokerSession) -> None:
+        """Metrics hook: record a session reaching its terminal state."""
+        state = session.state
+        self.metrics.inc(f"broker.sessions_{state}", tenant=session.spec.tenant)
+        latency = session.latency
+        if latency is not None and state != SHED:
+            self.metrics.observe(
+                "broker.session_latency_ms", latency * 1e3
+            )
+            with self._lock:
+                self._latencies.append(latency)
+                if len(self._latencies) > _MAX_LATENCIES:
+                    del self._latencies[: -_MAX_LATENCIES]
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        occupancy = self.controller.occupancy()
+        self.metrics.gauge_set("broker.active_sessions", occupancy["running"])
+        self.metrics.gauge_set("broker.queue_depth", occupancy["queued"])
+
+    # -- queries -----------------------------------------------------------
+    def get(self, session_id: str) -> BrokerSession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise BrokerError(404, f"unknown session {session_id!r}")
+        return session
+
+    def sessions(self) -> list[BrokerSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def result_payload(self, session_id: str) -> dict:
+        """The completed session's result (409 until terminal)."""
+        session = self.get(session_id)
+        if not session.done:
+            raise BrokerError(
+                409, f"session {session_id} is {session.state}"
+            )
+        payload = session.snapshot()
+        result = session.result
+        if result is None:
+            return payload
+        payload.update(
+            found=result.found,
+            degraded=result.budget_exhausted,
+            iterations=result.iterations,
+            offers_considered=result.offers_considered,
+            optimization_time=result.optimization_time,
+            messages=result.messages.messages,
+            payments=result.total_payment,
+            cache={
+                "hits": result.cache.hits,
+                "misses": result.cache.misses,
+            },
+        )
+        if result.found:
+            payload["plan_cost"] = result.best.properties.total_time
+            payload["plan"] = result.best.plan.explain()
+            payload["contracts"] = [
+                contract.offer.describe() for contract in result.contracts
+            ]
+        return payload
+
+    def explain_payload(
+        self, session_id: str, subquery: str | None = None
+    ) -> dict:
+        """The provenance audit of a completed, traced session."""
+        session = self.get(session_id)
+        if not session.done:
+            raise BrokerError(
+                409, f"session {session_id} is {session.state}"
+            )
+        if session.result is None or session.result.ledger is None:
+            raise BrokerError(
+                409,
+                f"session {session_id} has no decision ledger "
+                "(submitted with trace=false, or it never ran)",
+            )
+        return explain(session.result, subquery=subquery).to_dict()
+
+    def metrics_payload(self) -> dict:
+        """Serving metrics: occupancy, totals, p50/p99 latency."""
+        occupancy = self.controller.occupancy()
+        with self._lock:
+            latencies = sorted(self._latencies)
+        return {
+            "clock": self.clock_mode,
+            "active_sessions": occupancy["running"],
+            "queue_depth": occupancy["queued"],
+            "admitted_total": occupancy["admitted_total"],
+            "shed_total": occupancy["shed_total"],
+            "completed_total": len(latencies),
+            "latency_ms": {
+                "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
+                "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
+            },
+            "registry": self.metrics.to_dict(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Block until every submitted session is terminal."""
+        end = time.monotonic() + timeout
+        for session in self.sessions():
+            remaining = end - time.monotonic()
+            if remaining <= 0 or not session.wait(timeout=remaining):
+                return False
+        return True
+
+    def close(self) -> None:
+        """Stop workers, stop the loop thread; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.manager.close()
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=10.0)
+            self._loop.close()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Sequence
 
 from repro.bench import build_world
@@ -230,6 +231,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list-experiments", help="list available experiments")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the federation broker daemon (HTTP API for concurrent "
+             "trading sessions; see docs/BROKER.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 picks a free one; default 8642)",
+    )
+    serve.add_argument("--nodes", type=int, default=8)
+    serve.add_argument("--relations", type=int, default=6)
+    serve.add_argument("--rows", type=int, default=10_000)
+    serve.add_argument("--fragments", type=int, default=2)
+    serve.add_argument("--replicas", type=int, default=2)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--clock", choices=("sim", "async"), default="async",
+        help="per-session clock: 'async' = real asyncio wall-time loop "
+             "(the serving default), 'sim' = deterministic simulator",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=8,
+        help="negotiations running at once (worker threads)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="admitted sessions that may wait; beyond this, submits "
+             "are shed with HTTP 429",
+    )
+    serve.add_argument(
+        "--budget-rounds", type=int, default=6,
+        help="per-session cap on negotiation rounds (exhaustion "
+             "returns a degraded result)",
+    )
+    serve.add_argument(
+        "--budget-offers", type=int, default=None,
+        help="per-session cap on offers evaluated (checked at round "
+             "granularity; default unbudgeted)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="offer-farm worker processes shared across sessions",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
     return parser
 
 
@@ -571,6 +620,53 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.broker import (
+        AdmissionConfig,
+        BrokerService,
+        SessionBudget,
+        start_server,
+    )
+
+    service = BrokerService(
+        world_config=dict(
+            nodes=args.nodes,
+            n_relations=args.relations,
+            rows=args.rows,
+            fragments=args.fragments,
+            replicas=args.replicas,
+            seed=args.seed,
+        ),
+        clock=args.clock,
+        admission=AdmissionConfig(
+            max_concurrent=args.max_concurrent,
+            queue_limit=args.queue_limit,
+            budget=SessionBudget(
+                rounds=args.budget_rounds, offers=args.budget_offers
+            ),
+        ),
+        farm_workers=args.workers,
+    )
+    server = start_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(f"broker listening on {server.url} (clock={args.clock})")
+    print(f"  POST {server.url}/sessions          submit a query")
+    print(f"  GET  {server.url}/sessions/<id>     session status")
+    print(f"  GET  {server.url}/sessions/<id>/result")
+    print(f"  GET  {server.url}/sessions/<id>/explain")
+    # Flush so wrappers piping stdout see the URL before first request.
+    print(f"  GET  {server.url}/metrics", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown_broker()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -582,6 +678,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "list-experiments": _cmd_list,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

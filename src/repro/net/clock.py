@@ -1,0 +1,270 @@
+"""The clock abstraction behind the trading protocols.
+
+The protocol state machines (:mod:`repro.trading.protocols`,
+:mod:`repro.trading.resilience`) never talk to a clock implementation
+directly — they schedule callbacks, arm cancellable deadline timers, and
+drive the loop to quiescence through the :class:`Clock` interface.  Two
+implementations exist:
+
+* :class:`repro.net.simulator.Simulator` — the deterministic
+  discrete-event loop every test, experiment, and benchmark runs under.
+  Virtual time jumps instantly between events; ties break by insertion
+  order, so runs are exactly reproducible.
+* :class:`AsyncClock` — the same interface over a *running*
+  :mod:`asyncio` event loop and real wall time, used by the federation
+  broker (:mod:`repro.broker`) for long-lived serving.  Deadlines,
+  retry backoff, and fault timers become genuine ``call_later`` timers.
+
+:class:`AsyncClock` keeps its **own** ``(when, seq)`` heap and arms a
+single asyncio alarm for the earliest deadline.  Events that come due
+together are dispatched in insertion order — the same tie-break rule as
+the simulator — instead of inheriting asyncio's unspecified ordering for
+equal-deadline callbacks.  That is what lets one protocol codebase
+produce identical negotiation outcomes under both clocks.
+
+Thread model: one :class:`AsyncClock` instance belongs to one trading
+session.  The session's worker thread schedules work and blocks in
+:meth:`AsyncClock.run_until_idle`; all callbacks execute on the shared
+asyncio loop thread.  The internal lock only guards the heap — callbacks
+themselves are never run under it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import asyncio
+
+__all__ = ["Clock", "TimerHandle", "AsyncClock"]
+
+
+class TimerHandle:
+    """Handle of a cancellable timer.
+
+    ``cancel()`` is idempotent and returns whether it took effect: a
+    timer that already fired (or was already cancelled) cannot be
+    cancelled again.  Cancellation is *lazy* — the heap entry stays put
+    and is discarded when popped, costing neither a budget slot nor a
+    clock advance.
+    """
+
+    __slots__ = ("cancelled", "fired")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.fired = False
+
+    @property
+    def active(self) -> bool:
+        return not (self.cancelled or self.fired)
+
+    def cancel(self) -> bool:
+        if not self.active:
+            return False
+        self.cancelled = True
+        return True
+
+
+class Clock:
+    """What a protocol needs from time: schedule, deadline, quiesce.
+
+    Implementations must provide a monotonically non-decreasing ``now``
+    (seconds since the clock's origin) plus the scheduling methods
+    below.  ``run_until_idle`` blocks until no non-cancelled event
+    remains queued and returns the final ``now``.
+    """
+
+    now: float
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def schedule_cancellable(
+        self, delay: float, fn: Callable[[], None]
+    ) -> TimerHandle:
+        raise NotImplementedError
+
+    def schedule_at(
+        self, when: float, fn: Callable[[], None], allow_past: bool = False
+    ) -> None:
+        raise NotImplementedError
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        raise NotImplementedError
+
+    def pending_events(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def pending(self) -> int:
+        return self.pending_events()
+
+
+class _AsyncTimerHandle(TimerHandle):
+    """A :class:`TimerHandle` that re-arms its clock on cancellation.
+
+    Under the simulator a cancelled entry is simply skipped when popped;
+    under wall time a cancelled *earliest* deadline must not keep
+    ``run_until_idle`` waiting it out, so cancellation pokes the loop to
+    drop dead heads and re-arm (or declare idle) immediately.
+    """
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: "AsyncClock") -> None:
+        super().__init__()
+        self._clock = clock
+
+    def cancel(self) -> bool:
+        took = super().cancel()
+        if took:
+            self._clock._poke()
+        return took
+
+
+class AsyncClock(Clock):
+    """:class:`Clock` over a running :mod:`asyncio` event loop.
+
+    ``now`` is ``loop.time()`` rebased to zero at construction, so
+    protocol time arithmetic (deadlines relative to session start) works
+    unchanged.  Unlike the simulator, :meth:`schedule_at` never raises
+    on past deadlines: wall time advances while the caller computes, so
+    an already-due absolute time is *normal* here, and is clamped to
+    "now" (firing in insertion order among equally-due events).
+
+    ``max_events`` is accepted for interface parity but not enforced —
+    under wall time a runaway session is bounded by ``quiesce_timeout``
+    (seconds of *real* time ``run_until_idle`` is willing to wait),
+    not by an event count.
+    """
+
+    def __init__(
+        self, loop: "asyncio.AbstractEventLoop", quiesce_timeout: float = 60.0
+    ) -> None:
+        self._loop = loop
+        self._origin = loop.time()
+        self.quiesce_timeout = quiesce_timeout
+        self._queue: list[
+            tuple[float, int, Callable[[], None], TimerHandle | None]
+        ] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._alarm: "asyncio.TimerHandle | None" = None
+        self._error: BaseException | None = None
+        self.events_processed = 0
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:  # type: ignore[override]
+        return self._loop.time() - self._origin
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self._push(self.now + delay, fn, None)
+
+    def schedule_cancellable(
+        self, delay: float, fn: Callable[[], None]
+    ) -> TimerHandle:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        handle = _AsyncTimerHandle(self)
+        self._push(self.now + delay, fn, handle)
+        return handle
+
+    def schedule_at(
+        self, when: float, fn: Callable[[], None], allow_past: bool = True
+    ) -> None:
+        # Past deadlines are clamped to now regardless of allow_past:
+        # under wall time they indicate elapsed real time, not a bug in
+        # the caller's time arithmetic.
+        self._push(max(when, self.now), fn, None)
+
+    def _push(
+        self, when: float, fn: Callable[[], None], handle: TimerHandle | None
+    ) -> None:
+        with self._lock:
+            heapq.heappush(self._queue, (when, self._seq, fn, handle))
+            self._seq += 1
+            self._idle.clear()
+        self._poke()
+
+    # -- loop-side machinery ----------------------------------------------
+    def _poke(self) -> None:
+        """Ask the loop thread to re-examine the heap (thread-safe)."""
+        try:
+            self._loop.call_soon_threadsafe(self._rearm)
+        except RuntimeError:
+            pass  # loop already closed during shutdown
+
+    def _rearm(self) -> None:
+        """Arm one alarm for the earliest live deadline (loop thread)."""
+        with self._lock:
+            while self._queue:
+                head_handle = self._queue[0][3]
+                if head_handle is not None and head_handle.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                break
+            if self._alarm is not None:
+                self._alarm.cancel()
+                self._alarm = None
+            if not self._queue:
+                self._idle.set()
+                return
+            delay = max(0.0, self._queue[0][0] - self.now)
+        self._alarm = self._loop.call_later(delay, self._dispatch)
+
+    def _dispatch(self) -> None:
+        """Run every due event in ``(when, seq)`` order (loop thread)."""
+        self._alarm = None
+        while True:
+            with self._lock:
+                while self._queue:
+                    head_handle = self._queue[0][3]
+                    if head_handle is not None and head_handle.cancelled:
+                        heapq.heappop(self._queue)
+                        continue
+                    break
+                if not self._queue or self._queue[0][0] > self.now + 1e-9:
+                    break
+                _when, _seq, fn, handle = heapq.heappop(self._queue)
+            if handle is not None:
+                handle.fired = True
+            try:
+                fn()
+            except BaseException as exc:  # surface in run_until_idle
+                if self._error is None:
+                    self._error = exc
+            self.events_processed += 1
+        self._rearm()
+
+    # -- draining ----------------------------------------------------------
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Block the calling (session) thread until the queue drains."""
+        if not self._loop.is_running():
+            raise RuntimeError("AsyncClock requires a running event loop")
+        if not self._idle.wait(self.quiesce_timeout):
+            raise RuntimeError(
+                f"async clock did not quiesce within "
+                f"{self.quiesce_timeout:.1f}s "
+                f"({self.pending_events()} events pending)"
+            )
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+        return self.now
+
+    def pending_events(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for _when, _seq, _fn, handle in self._queue
+                if handle is None or not handle.cancelled
+            )

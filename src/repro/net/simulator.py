@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.cost.model import CostModel
+from repro.net.clock import Clock, TimerHandle
 from repro.net.messages import Message, MessageKind
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -35,35 +36,8 @@ __all__ = ["Simulator", "Network", "NetworkStats", "TimerHandle"]
 Handler = Callable[["Network", Message], None]
 
 
-class TimerHandle:
-    """Handle of a cancellable timer.
-
-    ``cancel()`` is idempotent and returns whether it took effect: a
-    timer that already fired (or was already cancelled) cannot be
-    cancelled again.  Cancellation is *lazy* — the heap entry stays put
-    and is discarded when popped, costing neither a budget slot nor a
-    clock advance.
-    """
-
-    __slots__ = ("cancelled", "fired")
-
-    def __init__(self) -> None:
-        self.cancelled = False
-        self.fired = False
-
-    @property
-    def active(self) -> bool:
-        return not (self.cancelled or self.fired)
-
-    def cancel(self) -> bool:
-        if not self.active:
-            return False
-        self.cancelled = True
-        return True
-
-
-class Simulator:
-    """Minimal deterministic discrete-event loop."""
+class Simulator(Clock):
+    """Minimal deterministic discrete-event loop (:class:`Clock`)."""
 
     def __init__(self) -> None:
         self.now = 0.0
@@ -98,7 +72,12 @@ class Simulator:
         Scheduling strictly before ``now`` is a bug in the caller's time
         arithmetic and raises unless ``allow_past=True`` is passed, in
         which case the event is clamped to ``now`` (the historical
-        behavior, which silently hid such bugs).
+        behavior, which silently hid such bugs).  Clamped events fire in
+        insertion order: each lands at ``(now, next seq)``, so two past
+        times scheduled in sequence fire in the order they were
+        scheduled, regardless of which claimed the earlier time.
+        (:class:`~repro.net.clock.AsyncClock` always clamps — under wall
+        time an already-due absolute deadline is normal, not a bug.)
         """
         if when < self.now and not allow_past:
             raise ValueError(
@@ -234,9 +213,16 @@ class Network:
     installed the path is exactly the historical one.
     """
 
-    def __init__(self, cost_model: CostModel | None = None):
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        clock: Clock | None = None,
+    ):
         self.cost_model = cost_model or CostModel()
-        self.sim = Simulator()
+        # ``sim`` kept as the attribute name for compatibility; it is any
+        # Clock — the deterministic Simulator by default, an AsyncClock
+        # when the broker serves this network over a real event loop.
+        self.sim: Clock = clock if clock is not None else Simulator()
         self.stats = NetworkStats()
         self.fault_injector: "FaultInjector | None" = None
         self.tracer: Tracer = NULL_TRACER

@@ -161,6 +161,7 @@ DEFAULT_GATES = (
     Gate("parallel", "twelve_join_buyer_speedup", "ge", 3.0,
          when="buyer_gate_enforced"),
     Gate("faults", "ef1_cost_stable", "eq", 1),
+    Gate("serving", "all_sessions_completed", "eq", 1),
 )
 
 

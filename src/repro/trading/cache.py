@@ -20,6 +20,7 @@ deltas.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
@@ -87,6 +88,13 @@ class OfferCache:
     A cache may be private to one seller or shared by all sellers of a
     federation world; lookups are keyed by site, so sharing never mixes
     results across nodes — it only pools capacity and statistics.
+
+    Concurrency: entry and counter mutations are guarded by a lock so
+    broker sessions running on separate threads can share one cache
+    without corrupting hit/miss stats or tearing the FIFO eviction.
+    Single-session paths pay one uncontended acquire per lookup/store.
+    For per-session accounting under sharing, take a
+    :meth:`session_view` — same entries and lock, private stats/tracer.
     """
 
     def __init__(
@@ -105,9 +113,22 @@ class OfferCache:
         #: network tracer, the offer farm a worker-local one).
         self.tracer: Tracer = NULL_TRACER
         self._entries: dict[CacheKey, "DPResult"] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def __getstate__(self):
+        # Locks don't pickle; the offer farm ships site-sliced snapshots
+        # to worker processes, which recreate a fresh lock on unpickle.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @staticmethod
     def key_for(
@@ -122,35 +143,58 @@ class OfferCache:
 
     def lookup(self, key: CacheKey) -> "DPResult | None":
         """The cached result for *key*, counting the hit or miss."""
-        result = self._entries.get(key)
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
         if result is None:
-            self.stats.misses += 1
             if self.tracer.enabled:
                 self.tracer.event(
                     "cache.miss", "cache", site=key[2], optimizer=key[4]
                 )
-        else:
-            self.stats.hits += 1
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "cache.hit", "cache", site=key[2], optimizer=key[4]
-                )
+        elif self.tracer.enabled:
+            self.tracer.event(
+                "cache.hit", "cache", site=key[2], optimizer=key[4]
+            )
         return result
 
     def store(self, key: CacheKey, result: "DPResult") -> None:
-        if key in self._entries:
+        evicted: CacheKey | None = None
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = result
+                return
+            if len(self._entries) >= self.max_entries:
+                evicted = next(iter(self._entries))
+                del self._entries[evicted]
+                self.stats.evictions += 1
             self._entries[key] = result
-            return
-        if len(self._entries) >= self.max_entries:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-            self.stats.evictions += 1
-            if self.tracer.enabled:
-                self.tracer.event("cache.evict", "cache", site=oldest[2])
-        self._entries[key] = result
+        if evicted is not None and self.tracer.enabled:
+            self.tracer.event("cache.evict", "cache", site=evicted[2])
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def session_view(self) -> "OfferCache":
+        """A per-session facade over this cache.
+
+        The view shares the entry dict, lock, capacity policy, and hit
+        discount — results cached by any session serve every other —
+        but keeps **private** :class:`CacheStats` and tracer, so each
+        broker session reports only its own hits/misses and traces only
+        its own cache events.  Views of views share the same base.
+        """
+        view = OfferCache.__new__(OfferCache)
+        view.hit_work_fraction = self.hit_work_fraction
+        view.max_entries = self.max_entries
+        view.stats = CacheStats()
+        view.tracer = NULL_TRACER
+        view._entries = self._entries
+        view._lock = self._lock
+        return view
 
     # ------------------------------------------------------------------
     # Parallel-worker support (see repro.parallel.offer_farm)
@@ -167,11 +211,12 @@ class OfferCache:
             hit_work_fraction=self.hit_work_fraction,
             max_entries=2**31,
         )
-        clone._entries = {
-            key: result
-            for key, result in self._entries.items()
-            if key[2] == site
-        }
+        with self._lock:
+            clone._entries = {
+                key: result
+                for key, result in self._entries.items()
+                if key[2] == site
+            }
         return clone
 
     def new_entries_since(
@@ -183,8 +228,9 @@ class OfferCache:
         delta is exactly the keys not present in the snapshot; dict
         insertion order preserves the store order the parent must replay.
         """
-        return [
-            (key, result)
-            for key, result in self._entries.items()
-            if key not in snapshot._entries
-        ]
+        with self._lock:
+            return [
+                (key, result)
+                for key, result in self._entries.items()
+                if key not in snapshot._entries
+            ]

@@ -11,9 +11,11 @@ the data, the completeness of the data, and possibly a charged amount."
 
 from __future__ import annotations
 
+import contextvars
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Iterator, Mapping
 
 from repro.sql.query import SPJQuery
 
@@ -25,19 +27,52 @@ __all__ = [
     "coverage_key",
     "coverage_label",
     "next_offer_id",
+    "offer_id_scope",
 ]
 
 _offer_ids = itertools.count(1)
 
+#: Execution-context override of the offer-id counter.  The broker runs
+#: each trading session inside its own :mod:`contextvars` context with a
+#: private counter installed here, so concurrent sessions mint the same
+#: id sequence a serial run would — offer ids appear in plan provenance
+#: (``Purchased ... offer#N``), so id assignment must not interleave
+#: across sessions.  Default ``None`` falls through to the module
+#: global, keeping every existing single-session path byte-identical.
+_scoped_offer_ids: contextvars.ContextVar[Iterator[int] | None] = (
+    contextvars.ContextVar("repro_offer_ids", default=None)
+)
+
 
 def next_offer_id() -> int:
-    """Mint the next offer id from the module-global counter.
+    """Mint the next offer id from the active counter.
 
     Indirect on purpose: tests (and the parallel offer farm) reseed
     ``commodity._offer_ids`` for reproducible ids, so callers must read
     the global at call time rather than bind the counter object once.
+    A context-local counter installed via :func:`offer_id_scope` takes
+    precedence (broker sessions).
     """
+    scoped = _scoped_offer_ids.get()
+    if scoped is not None:
+        return next(scoped)
     return next(_offer_ids)
+
+
+@contextmanager
+def offer_id_scope(start: int = 1) -> Iterator[None]:
+    """Give the current execution context its own offer-id counter.
+
+    Everything minted inside the ``with`` block — including asyncio
+    callbacks scheduled from it, which snapshot the caller's context —
+    draws from a private ``count(start)``; the module-global counter is
+    untouched.  Used by the broker to isolate concurrent sessions.
+    """
+    token = _scoped_offer_ids.set(itertools.count(start))
+    try:
+        yield
+    finally:
+        _scoped_offer_ids.reset(token)
 
 
 CoverageKey = tuple[tuple[str, tuple[int, ...]], ...]
@@ -117,7 +152,7 @@ class Offer:
     properties: AnswerProperties
     exact_projections: bool
     request_key: str  # canonical key of the RFB query this answers
-    offer_id: int = field(default_factory=lambda: next(_offer_ids))
+    offer_id: int = field(default_factory=next_offer_id)
     true_cost: float = 0.0
 
     @property

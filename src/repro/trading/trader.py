@@ -123,6 +123,12 @@ class TradingResult:
     #: the causal RFB -> offer -> ranking -> award/void chain behind
     #: this result; feed it to :func:`repro.obs.explain`.
     ledger: NegotiationLedger | None = None
+    #: True when the negotiation stopped because a compute budget ran
+    #: out (offer budget hit, or the round cap fired with refined
+    #: queries still pending) rather than by natural convergence.  Any
+    #: plan present is still valid — just possibly improvable; the
+    #: broker reports such sessions as ``degraded``.
+    budget_exhausted: bool = False
 
     @property
     def found(self) -> bool:
@@ -162,6 +168,11 @@ class QueryTrader:
         earlier via the no-improvement/no-new-queries rule).
     improvement_epsilon:
         Minimum relative improvement that counts as "better".
+    offer_budget:
+        Optional cap on distinct offers evaluated across all rounds;
+        when hit, the negotiation stops after the current round and the
+        result is flagged ``budget_exhausted`` (broker sessions report
+        it as a ``degraded`` completion).
     """
 
     def __init__(
@@ -175,6 +186,7 @@ class QueryTrader:
         valuation: Valuation | None = None,
         max_iterations: int = 6,
         improvement_epsilon: float = 1e-3,
+        offer_budget: int | None = None,
     ):
         self.buyer = buyer
         self.sellers = dict(sellers)
@@ -185,6 +197,10 @@ class QueryTrader:
         self.valuation = valuation or WeightedValuation()
         self.max_iterations = max_iterations
         self.improvement_epsilon = improvement_epsilon
+        #: Optional cap on distinct offers evaluated across all rounds
+        #: (a per-session compute budget under the broker).  ``None``
+        #: preserves the unbudgeted historical behavior exactly.
+        self.offer_budget = offer_budget
         self.analyser = BuyerPredicatesAnalyser(plan_generator.builder.schemes)
 
     # ------------------------------------------------------------------
@@ -243,6 +259,7 @@ class QueryTrader:
         trace: list[IterationTrace] = []
         iterations = 0
         resilience = ResilienceSummary()
+        budget_exhausted = False
 
         for round_number in range(1, self.max_iterations + 1):
             queries = [q for q in queries if q.key() not in asked]
@@ -372,6 +389,20 @@ class QueryTrader:
                 break
             if not new_queries:
                 break
+            # Per-session compute budget: stop refining once the offer
+            # cap is reached, keeping whatever plan the rounds so far
+            # produced.  Checked after the natural-termination rules so
+            # a run that converged on its own is never flagged.
+            if (
+                self.offer_budget is not None
+                and len(offers) >= self.offer_budget
+            ):
+                budget_exhausted = True
+                break
+            if round_number == self.max_iterations:
+                # The cap fires with refined queries still pending —
+                # the round budget, not convergence, ended the search.
+                budget_exhausted = True
             queries = new_queries
 
         # B8: strike contracts for the winning offers.
@@ -404,6 +435,7 @@ class QueryTrader:
             trace=trace,
             cache=self._cache_stats().delta_since(start_cache),
             resilience=resilience,
+            budget_exhausted=budget_exhausted,
         )
 
     # ------------------------------------------------------------------

@@ -1,7 +1,13 @@
 """Synthetic workloads: query generators and the paper's telecom scenario."""
 
 from repro.workload.generator import WorkloadConfig, chain_query, star_query, generate_workload
-from repro.workload.scenarios import TelecomScenario, build_telecom_scenario
+from repro.workload.scenarios import (
+    BurstArrival,
+    BurstConfig,
+    TelecomScenario,
+    build_bursty_workload,
+    build_telecom_scenario,
+)
 
 __all__ = [
     "WorkloadConfig",
@@ -10,4 +16,7 @@ __all__ = [
     "generate_workload",
     "TelecomScenario",
     "build_telecom_scenario",
+    "BurstArrival",
+    "BurstConfig",
+    "build_bursty_workload",
 ]

@@ -30,7 +30,14 @@ from repro.sql.query import Aggregate, SPJQuery
 from repro.sql.schema import PartitionScheme, Relation, RelationRef
 from repro.sql.views import MaterializedView
 
-__all__ = ["TelecomScenario", "build_telecom_scenario", "OFFICE_NAMES"]
+__all__ = [
+    "TelecomScenario",
+    "build_telecom_scenario",
+    "OFFICE_NAMES",
+    "BurstConfig",
+    "BurstArrival",
+    "build_bursty_workload",
+]
 
 OFFICE_NAMES = (
     "Athens",
@@ -231,3 +238,81 @@ def build_telecom_scenario(
         },
         buyer=offices[0],
     )
+
+
+# ----------------------------------------------------------------------
+# Bursty multi-tenant serving workload (the broker's benchmark scenario)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BurstConfig:
+    """A bursty multi-tenant arrival pattern over the synthetic schema.
+
+    *tenants* independent clients fire queries in *bursts* waves:
+    every ``burst_spacing`` seconds a whole burst of ``burst_size``
+    queries arrives nearly at once (each jittered by up to *jitter*
+    seconds), then the system idles until the next wave — the classic
+    open-loop pattern that stresses admission control and queueing far
+    more than a smooth arrival rate.  Queries are drawn from
+    :func:`repro.workload.generator.generate_workload`, so the bench
+    and the broker tests exercise the exact same query mix.
+    """
+
+    tenants: int = 4
+    bursts: int = 3
+    burst_size: int = 4
+    burst_spacing: float = 0.5
+    jitter: float = 0.05
+    min_relations: int = 2
+    max_relations: int = 4
+    available_relations: int = 6
+    selection_probability: float = 0.7
+    aggregate_probability: float = 0.25
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class BurstArrival:
+    """One query arrival: when it fires, who sent it, what it asks."""
+
+    arrival: float
+    tenant: str
+    query: "SPJQuery"
+
+
+def build_bursty_workload(
+    config: BurstConfig = BurstConfig(),
+) -> list[BurstArrival]:
+    """The reproducible arrival schedule for *config*, sorted by time.
+
+    Tenants are assigned round-robin across each burst, so every burst
+    mixes traffic from multiple tenants; the same seed always produces
+    the same queries at the same (jittered) arrival offsets.
+    """
+    from repro.workload.generator import WorkloadConfig, generate_workload
+
+    rng = random.Random(config.seed)
+    queries = generate_workload(
+        WorkloadConfig(
+            queries=config.bursts * config.burst_size,
+            min_relations=config.min_relations,
+            max_relations=config.max_relations,
+            available_relations=config.available_relations,
+            selection_probability=config.selection_probability,
+            aggregate_probability=config.aggregate_probability,
+            seed=config.seed,
+        )
+    )
+    arrivals: list[BurstArrival] = []
+    for burst in range(config.bursts):
+        start = burst * config.burst_spacing
+        for i in range(config.burst_size):
+            index = burst * config.burst_size + i
+            arrivals.append(
+                BurstArrival(
+                    arrival=start + rng.uniform(0.0, config.jitter),
+                    tenant=f"tenant-{index % config.tenants}",
+                    query=queries[index],
+                )
+            )
+    arrivals.sort(key=lambda a: (a.arrival, a.tenant))
+    return arrivals

@@ -1,0 +1,372 @@
+"""Broker service behavior: determinism, admission, budgets, HTTP API."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.bench.harness import build_world, run_qt
+from repro.broker import (
+    COMPLETED,
+    DEGRADED,
+    SHED,
+    AdmissionConfig,
+    AdmissionController,
+    BrokerError,
+    BrokerService,
+    OrderedBiddingProtocol,
+    Router,
+    SessionBudget,
+    SessionManager,
+    start_server,
+)
+from repro.broker.sessions import BrokerSession, SessionSpec
+from repro.trading.commodity import offer_id_scope
+from repro.workload import BurstConfig, build_bursty_workload
+
+WORLD = dict(
+    nodes=6, n_relations=4, rows=10_000, fragments=2, replicas=2, seed=7
+)
+
+
+@pytest.fixture(scope="module")
+def arrivals():
+    return build_bursty_workload(
+        BurstConfig(
+            tenants=4, bursts=2, burst_size=4, available_relations=4, seed=11
+        )
+    )
+
+
+def make_service(**kwargs) -> BrokerService:
+    kwargs.setdefault("world_config", WORLD)
+    return BrokerService(**kwargs)
+
+
+def submit_sql(service: BrokerService, sql: str, **payload):
+    return service.submit(service.parse_spec({"sql": sql, **payload}))
+
+
+def serve_all(service: BrokerService, arrivals) -> dict[str, dict]:
+    """Submit every arrival, drain, return result payloads by SQL."""
+    sessions = [
+        submit_sql(service, a.query.sql(), tenant=a.tenant) for a in arrivals
+    ]
+    assert service.drain(timeout=120.0)
+    return {
+        s.spec.sql: service.result_payload(s.session_id) for s in sessions
+    }
+
+
+def plan_signature(payload: dict) -> tuple:
+    return (
+        payload["found"],
+        payload["plan_cost"],
+        payload["plan"],
+        tuple(payload["contracts"]),
+    )
+
+
+class TestAdmissionController:
+    def test_admits_until_queue_full(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrent=2, queue_limit=1)
+        )
+        assert controller.try_admit()
+        assert not controller.try_admit()
+        occupancy = controller.occupancy()
+        assert occupancy["queued"] == 1
+        assert occupancy["shed_total"] == 1
+        controller.on_start()
+        assert controller.try_admit()  # queue slot freed
+        controller.on_finish()
+
+    def test_zero_queue_sheds_everything(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrent=1, queue_limit=0)
+        )
+        assert not controller.try_admit()
+        assert controller.occupancy()["shed_total"] == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_concurrent=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(queue_limit=-1)
+        with pytest.raises(ValueError):
+            SessionBudget(rounds=0)
+
+
+class TestSessionManager:
+    def test_overflow_is_shed_not_queued(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(session):
+            started.set()
+            release.wait(timeout=30.0)
+
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrent=1, queue_limit=1)
+        )
+        manager = SessionManager(runner, controller)
+        spec = SessionSpec(sql="", query=None)
+        running = BrokerSession("s1", spec)
+        queued = BrokerSession("s2", spec)
+        shed = BrokerSession("s3", spec)
+        try:
+            assert manager.submit(running)
+            started.wait(timeout=30.0)
+            assert manager.submit(queued)
+            assert not manager.submit(shed)
+            assert shed.state == SHED
+            assert shed.error == "queue full"
+            release.set()
+            assert running.wait(timeout=30.0)
+            assert queued.wait(timeout=30.0)
+            assert running.state == COMPLETED
+            assert queued.state == COMPLETED
+        finally:
+            release.set()
+            manager.close()
+
+    def test_runner_failure_marks_failed(self):
+        def runner(session):
+            raise RuntimeError("boom")
+
+        controller = AdmissionController(AdmissionConfig(max_concurrent=1))
+        manager = SessionManager(runner, controller)
+        session = BrokerSession("s1", SessionSpec(sql="", query=None))
+        try:
+            manager.submit(session)
+            assert session.wait(timeout=30.0)
+            assert session.state == "failed"
+            assert "boom" in session.error
+        finally:
+            manager.close()
+
+
+class TestBrokerDeterminism:
+    def test_concurrent_matches_serial_and_library(self, arrivals):
+        """8-way concurrent serving == serial serving == plain run_qt."""
+        serial = make_service(
+            admission=AdmissionConfig(max_concurrent=1, queue_limit=64)
+        )
+        concurrent = make_service(
+            admission=AdmissionConfig(max_concurrent=8, queue_limit=64)
+        )
+        try:
+            serial_results = serve_all(serial, arrivals)
+            concurrent_results = serve_all(concurrent, arrivals)
+        finally:
+            serial.close()
+            concurrent.close()
+        assert len(concurrent_results) >= 8
+        for sql, payload in serial_results.items():
+            assert payload["state"] == COMPLETED
+            assert plan_signature(payload) == plan_signature(
+                concurrent_results[sql]
+            )
+        # And the broker's plans are the library's plans: a plain
+        # run_qt with the broker's canonical intake ordering (and the
+        # broker's fresh per-session offer-id counter, which the plan's
+        # provenance strings embed) agrees.
+        world = build_world(**WORLD)
+        for arrival in arrivals[:3]:
+            with offer_id_scope():
+                measurement = run_qt(
+                    world,
+                    arrival.query,
+                    protocol=OrderedBiddingProtocol(),
+                    label="qt-dp",
+                )
+            payload = serial_results[arrival.query.sql()]
+            assert payload["plan_cost"] == measurement.plan_cost
+            assert payload["plan"] == measurement.plan_explain
+
+    def test_async_clock_matches_sim_clock(self, arrivals):
+        """Wall-time serving produces the simulator's exact plans."""
+        sim = make_service(clock="sim")
+        asy = make_service(clock="async")
+        try:
+            sql = arrivals[0].query.sql()
+            sim_payload = serve_one(sim, sql)
+            async_payload = serve_one(asy, sql)
+        finally:
+            sim.close()
+            asy.close()
+        assert plan_signature(sim_payload) == plan_signature(async_payload)
+
+    def test_sessions_share_the_offer_cache(self, arrivals):
+        """A repeated query hits pricing work cached by its predecessor."""
+        service = make_service()
+        try:
+            sql = arrivals[0].query.sql()
+            first = serve_one(service, sql)
+            second = serve_one(service, sql)
+        finally:
+            service.close()
+        assert first["cache"]["misses"] > 0
+        assert second["cache"]["hits"] > 0
+        assert plan_signature(first) == plan_signature(second)
+
+
+def serve_one(service: BrokerService, sql: str, **payload) -> dict:
+    session = submit_sql(service, sql, **payload)
+    assert session.wait(timeout=120.0)
+    return service.result_payload(session.session_id)
+
+
+class TestBudgets:
+    def test_round_budget_degrades_gracefully(self, arrivals):
+        service = make_service(
+            admission=AdmissionConfig(budget=SessionBudget(rounds=1))
+        )
+        try:
+            payload = serve_one(service, arrivals[0].query.sql())
+        finally:
+            service.close()
+        assert payload["state"] == DEGRADED
+        assert payload["degraded"] is True
+        assert payload["iterations"] == 1
+        assert payload["found"]  # degraded still answers
+        assert payload["plan_cost"] > 0
+
+    def test_offer_budget_degrades_gracefully(self, arrivals):
+        service = make_service(
+            admission=AdmissionConfig(
+                budget=SessionBudget(rounds=6, offers=1)
+            )
+        )
+        try:
+            payload = serve_one(service, arrivals[0].query.sql())
+        finally:
+            service.close()
+        assert payload["state"] == DEGRADED
+        assert payload["offers_considered"] >= 1
+
+
+class TestExplain:
+    def test_explain_works_on_broker_sessions(self, arrivals):
+        service = make_service()
+        try:
+            session = submit_sql(service, arrivals[0].query.sql())
+            assert session.wait(timeout=120.0)
+            explanation = service.explain_payload(session.session_id)
+        finally:
+            service.close()
+        assert explanation["found"]
+        assert explanation["commodities"]
+
+    def test_untraced_session_409s(self, arrivals):
+        service = make_service()
+        try:
+            session = submit_sql(
+                service, arrivals[0].query.sql(), trace=False
+            )
+            assert session.wait(timeout=120.0)
+            with pytest.raises(BrokerError) as err:
+                service.explain_payload(session.session_id)
+        finally:
+            service.close()
+        assert err.value.status == 409
+
+
+class TestRouter:
+    @pytest.fixture()
+    def service(self):
+        service = make_service()
+        yield service
+        service.close()
+
+    def test_submit_poll_result_explain(self, service, arrivals):
+        router = Router(service)
+        body = json.dumps({"sql": arrivals[0].query.sql()}).encode()
+        status, payload = router.dispatch("POST", "/sessions", body)
+        assert status == 202
+        sid = payload["session"]
+        assert service.get(sid).wait(timeout=120.0)
+        status, payload = router.dispatch("GET", f"/sessions/{sid}")
+        assert status == 200 and payload["state"] == COMPLETED
+        status, payload = router.dispatch("GET", f"/sessions/{sid}/result")
+        assert status == 200 and payload["found"]
+        status, payload = router.dispatch("GET", f"/sessions/{sid}/explain")
+        assert status == 200 and payload["commodities"]
+        status, payload = router.dispatch("GET", "/sessions")
+        assert status == 200 and len(payload["sessions"]) == 1
+        status, payload = router.dispatch("GET", "/metrics")
+        assert status == 200 and payload["completed_total"] == 1
+        status, payload = router.dispatch("GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_result_is_409_until_terminal(self, service, arrivals):
+        # Register a session that never runs: the result and explain
+        # endpoints must refuse with 409 while it is non-terminal.
+        spec = service.parse_spec({"sql": arrivals[0].query.sql()})
+        pending = BrokerSession("pending", spec)
+        with service._lock:
+            service._sessions[pending.session_id] = pending
+        router = Router(service)
+        status, payload = router.dispatch("GET", "/sessions/pending/result")
+        assert status == 409 and "queued" in payload["error"]
+        status, payload = router.dispatch("GET", "/sessions/pending/explain")
+        assert status == 409
+
+    def test_error_statuses(self, service):
+        router = Router(service)
+        assert router.dispatch("POST", "/sessions", b"not json")[0] == 400
+        assert router.dispatch("POST", "/sessions", b"[]")[0] == 400
+        assert router.dispatch("POST", "/sessions", b"{}")[0] == 400
+        bad_sql = json.dumps({"sql": "SELECT FROM"}).encode()
+        assert router.dispatch("POST", "/sessions", bad_sql)[0] == 400
+        bad_mode = json.dumps({"sql": "SELECT r0.a FROM R0 r0",
+                               "mode": "magic"}).encode()
+        assert router.dispatch("POST", "/sessions", bad_mode)[0] == 400
+        assert router.dispatch("GET", "/sessions/nope")[0] == 404
+        assert router.dispatch("GET", "/nope")[0] == 404
+        assert router.dispatch("DELETE", "/sessions")[0] == 405
+        assert router.dispatch("POST", "/metrics")[0] == 405
+
+    def test_shed_returns_429(self, arrivals):
+        service = make_service(
+            admission=AdmissionConfig(max_concurrent=1, queue_limit=0)
+        )
+        try:
+            router = Router(service)
+            body = json.dumps({"sql": arrivals[0].query.sql()}).encode()
+            status, payload = router.dispatch("POST", "/sessions", body)
+        finally:
+            service.close()
+        assert status == 429
+        assert payload["state"] == SHED
+
+
+class TestHTTPServer:
+    def test_round_trip_over_real_sockets(self, arrivals):
+        service = make_service()
+        server = start_server(service)
+        try:
+            body = json.dumps({"sql": arrivals[0].query.sql()}).encode()
+            request = urllib.request.Request(
+                f"{server.url}/sessions", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                assert response.status == 202
+                sid = json.loads(response.read())["session"]
+            assert service.get(sid).wait(timeout=120.0)
+            with urllib.request.urlopen(
+                f"{server.url}/sessions/{sid}/result", timeout=60
+            ) as response:
+                payload = json.loads(response.read())
+            assert payload["state"] == COMPLETED
+            assert payload["found"]
+            with urllib.request.urlopen(
+                f"{server.url}/healthz", timeout=60
+            ) as response:
+                assert json.loads(response.read())["status"] == "ok"
+        finally:
+            server.shutdown_broker()

@@ -220,3 +220,61 @@ class TestCacheChurnUnderRenegotiation:
             assert (delta.hits, delta.misses) == (1, 0)
         else:
             assert (delta.hits, delta.misses) == (0, 1)
+
+
+class TestConcurrentSessions:
+    """The broker regression: one cache, many interleaved sessions."""
+
+    def test_views_share_entries_with_private_accounting(self):
+        base = OfferCache()
+        caps = NodeCapabilities()
+        query = chain_query(2)
+        key = base.key_for(query, {"r0": frozenset((0,))}, "n0", caps, "dp")
+        first = base.session_view()
+        second = base.session_view()
+        assert first.lookup(key) is None
+        first.store(key, "priced")
+        # The entry crosses views; the miss/hit accounting does not.
+        assert second.lookup(key) == "priced"
+        assert (first.stats.hits, first.stats.misses) == (0, 1)
+        assert (second.stats.hits, second.stats.misses) == (1, 0)
+        assert (base.stats.hits, base.stats.misses) == (0, 0)
+        assert len(base) == len(first) == len(second) == 1
+
+    def test_interleaved_sessions_account_exactly(self):
+        import threading
+
+        base = OfferCache()
+        caps = NodeCapabilities()
+        keys = [
+            base.key_for(
+                chain_query(2), {"r0": frozenset((i,))}, f"n{i % 3}",
+                caps, "dp",
+            )
+            for i in range(8)
+        ]
+        rounds = 200
+        views = [base.session_view() for _ in range(4)]
+        barrier = threading.Barrier(len(views))
+
+        def session(view):
+            barrier.wait()
+            for i in range(rounds):
+                key = keys[i % len(keys)]
+                if view.lookup(key) is None:
+                    view.store(key, f"dp-{i}")
+
+        threads = [
+            threading.Thread(target=session, args=(view,)) for view in views
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        # Every lookup was either a hit or a miss — none lost to a
+        # race — and the shared store holds each key exactly once.
+        for view in views:
+            assert view.stats.hits + view.stats.misses == rounds
+        assert len(base) == len(keys)
+        total_misses = sum(view.stats.misses for view in views)
+        assert len(keys) <= total_misses <= len(keys) * len(views)
