@@ -58,6 +58,7 @@ __all__ = [
     "e11_subcontracting",
     "e12_offer_ablations",
     "e13_load_balancing",
+    "e14_mqo_overlap",
     "ef1_drop_rate_sweep",
     "ef2_crash_sweep",
     "ef3_timeout_tuning",
@@ -954,6 +955,83 @@ def ef3_timeout_tuning(
                 m.messages,
                 m.timeouts,
                 m.retried,
+            ]
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# E14: cross-session MQO over overlapping analytics dashboards
+# ----------------------------------------------------------------------
+def e14_mqo_overlap(
+    tenants: int = 6, waves: int = 2, seed: int = 7
+) -> ExperimentTable:
+    """E14: shared-subquery interning + amortized pricing in the broker.
+
+    *tenants* analytics dashboards refresh together, each perturbing
+    only the driving selection of a shared join template.  With MQO on,
+    the broker batches each refresh wave into a trading epoch, prices
+    every shared join interior once, and injects amortized seed offers
+    — the paper's "query answers as commodities" pushed across session
+    boundaries.  The table contrasts aggregate plan cost, payments, and
+    cache behavior against per-session trading over the same workload.
+    """
+    from repro.broker import AdmissionConfig, BrokerService
+    from repro.broker.sessions import SessionSpec
+    from repro.mqo import MQOConfig
+    from repro.workload import OverlapConfig, build_overlapping_analytics
+
+    arrivals = build_overlapping_analytics(
+        OverlapConfig(tenants=tenants, queries_per_tenant=waves, seed=seed)
+    )
+    table = ExperimentTable(
+        "E14",
+        "Cross-session MQO: interned commodities, amortized pricing",
+        ["mqo", "aggregate plan cost", "aggregate payments",
+         "cache hits", "intern hits", "epochs"],
+    )
+    for mqo_on in (False, True):
+        # Single-fragment relations (replicated analytics marts): a
+        # seller can then sell a shared join interior as ONE complete
+        # materialized intermediate, which is what the epoch prepass
+        # prices once and amortizes.
+        world = build_world(
+            nodes=8, n_relations=6, fragments=1, replicas=2, seed=seed
+        )
+        service = BrokerService(
+            world=world,
+            clock="sim",
+            admission=AdmissionConfig(max_concurrent=4, queue_limit=64),
+            mqo=MQOConfig(epoch_size=tenants, epoch_window=5.0)
+            if mqo_on else None,
+        )
+        try:
+            sessions = [
+                service.submit(
+                    SessionSpec(
+                        sql=a.query.sql(), query=a.query, tenant=a.tenant
+                    )
+                )
+                for a in arrivals
+            ]
+            service.drain(timeout=120.0)
+            results = [
+                s.result for s in sessions
+                if s.result is not None and s.result.found
+            ]
+            plan_cost = sum(r.best.properties.total_time for r in results)
+            payments = sum(r.total_payment for r in results)
+            metrics = service.metrics_payload()
+        finally:
+            service.close()
+        table.rows.append(
+            [
+                "on" if mqo_on else "off",
+                f"{plan_cost:.4f}",
+                f"{payments:.4f}",
+                metrics["cache"]["hits"],
+                metrics["cache"]["intern_hits"],
+                metrics.get("mqo", {}).get("epochs", 0),
             ]
         )
     return table

@@ -61,8 +61,12 @@ from repro.obs import Tracer, explain
 from repro.obs.metrics import MetricsRegistry
 from repro.sql import ParseError, parse_query
 from repro.trading import BiddingProtocol, BuyerPlanGenerator, QueryTrader
+from repro.trading.cache import CacheStats
 from repro.trading.commodity import Offer, offer_id_scope
 from repro.trading.protocols import SolicitResult
+
+if False:  # pragma: no cover - typing only (avoid a hard mqo import)
+    from repro.mqo import EpochScheduler, MQOConfig
 
 __all__ = ["BrokerError", "OrderedBiddingProtocol", "BrokerService"]
 
@@ -138,6 +142,7 @@ class BrokerService:
         admission: AdmissionConfig | None = None,
         farm_workers: int = 1,
         quiesce_timeout: float = 60.0,
+        mqo: "MQOConfig | None" = None,
     ):
         if clock not in ("sim", "async"):
             raise ValueError("clock must be 'sim' or 'async'")
@@ -154,6 +159,9 @@ class BrokerService:
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._latencies: list[float] = []
+        #: Cross-session cache accounting, accumulated from terminal
+        #: sessions (per-session stats stay on each result).
+        self._cache_totals = CacheStats()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._loop_thread: threading.Thread | None = None
         if clock == "async":
@@ -161,6 +169,16 @@ class BrokerService:
         self.manager = SessionManager(
             self._run_session, self.controller, on_terminal=self.note_terminal
         )
+        #: Opt-in MQO epoch scheduler — when enabled, submitted sessions
+        #: batch into trading epochs (shared-commodity interning +
+        #: amortized seed offers) before reaching the session workers.
+        self.mqo: "EpochScheduler | None" = None
+        if mqo is not None and mqo.enabled:
+            from repro.mqo import EpochScheduler
+
+            self.mqo = EpochScheduler(
+                self.world, BUYER, self._dispatch, mqo
+            )
         self._closed = False
 
     # -- the shared asyncio loop (async mode only) ------------------------
@@ -221,9 +239,20 @@ class BrokerService:
         with self._lock:
             self._sessions[session.session_id] = session
         self.metrics.inc("broker.sessions_submitted", tenant=spec.tenant)
+        if self.mqo is not None:
+            # Sessions batch into a trading epoch first; the scheduler
+            # calls _dispatch (possibly with seed offers attached) when
+            # the epoch seals.
+            self.mqo.add(session)
+        else:
+            self._dispatch(session)
+        return session
+
+    def _dispatch(self, session: BrokerSession) -> None:
+        """Release one session to the worker pool (the MQO epoch
+        scheduler's dispatch hook; also the MQO-off direct path)."""
         self.manager.submit(session)
         self._update_gauges()
-        return session
 
     # -- the per-session negotiation --------------------------------------
     def _run_session(self, session: BrokerSession) -> None:
@@ -271,6 +300,7 @@ class BrokerService:
                 protocol=protocol,
                 max_iterations=rounds,
                 offer_budget=budget.offers,
+                seed_offers=session.seed_offers,
             )
             session.result = trader.optimize(session.spec.query)
 
@@ -279,6 +309,9 @@ class BrokerService:
         """Metrics hook: record a session reaching its terminal state."""
         state = session.state
         self.metrics.inc(f"broker.sessions_{state}", tenant=session.spec.tenant)
+        if session.result is not None:
+            with self._lock:
+                self._cache_totals.add(session.result.cache)
         latency = session.latency
         if latency is not None and state != SHED:
             self.metrics.observe(
@@ -329,6 +362,7 @@ class BrokerService:
             cache={
                 "hits": result.cache.hits,
                 "misses": result.cache.misses,
+                "intern_hits": result.cache.intern_hits,
             },
         )
         if result.found:
@@ -361,7 +395,8 @@ class BrokerService:
         occupancy = self.controller.occupancy()
         with self._lock:
             latencies = sorted(self._latencies)
-        return {
+            cache = self._cache_totals.snapshot()
+        payload = {
             "clock": self.clock_mode,
             "active_sessions": occupancy["running"],
             "queue_depth": occupancy["queued"],
@@ -372,12 +407,25 @@ class BrokerService:
                 "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
                 "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
             },
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "intern_hits": cache.intern_hits,
+                "hit_rate": round(cache.hit_rate, 6),
+            },
             "registry": self.metrics.to_dict(),
         }
+        if self.mqo is not None:
+            payload["mqo"] = self.mqo.metrics()
+        return payload
 
     # -- lifecycle ---------------------------------------------------------
     def drain(self, timeout: float = 60.0) -> bool:
         """Block until every submitted session is terminal."""
+        if self.mqo is not None:
+            # A partial epoch may still be waiting on its window timer;
+            # seal it now so its members actually reach the workers.
+            self.mqo.flush()
         end = time.monotonic() + timeout
         for session in self.sessions():
             remaining = end - time.monotonic()
@@ -390,6 +438,8 @@ class BrokerService:
         if self._closed:
             return
         self._closed = True
+        if self.mqo is not None:
+            self.mqo.close()
         self.manager.close()
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self._loop.stop)

@@ -79,6 +79,11 @@ class BrokerSession:
         self.submitted_at = time.monotonic()
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        #: Amortized seed offers injected by the MQO epoch scheduler
+        #: (``None`` outside MQO — the trader then runs unseeded).
+        self.seed_offers: "list | None" = None
+        #: The trading epoch that seeded this session (``None`` if none).
+        self.epoch: str | None = None
         self._done = threading.Event()
 
     @property
@@ -115,6 +120,8 @@ class BrokerSession:
             out["latency_ms"] = round(self.latency * 1e3, 3)
         if self.error is not None:
             out["error"] = self.error
+        if self.epoch is not None:
+            out["epoch"] = self.epoch
         if self.result is not None and self.result.found:
             out["plan_cost"] = self.result.best.properties.total_time
         return out

@@ -57,6 +57,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E11": experiments_module.e11_subcontracting,
     "E12": experiments_module.e12_offer_ablations,
     "E13": experiments_module.e13_load_balancing,
+    "E14": experiments_module.e14_mqo_overlap,
     "E-F1": experiments_module.ef1_drop_rate_sweep,
     "E-F2": experiments_module.ef2_crash_sweep,
     "E-F3": experiments_module.ef3_timeout_tuning,
@@ -275,6 +276,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=1,
         help="offer-farm worker processes shared across sessions",
+    )
+    serve.add_argument(
+        "--mqo", action="store_true",
+        help="enable cross-session multi-query optimization: concurrent "
+             "sessions batch into trading epochs, shared subqueries are "
+             "interned and priced once, and amortized seed offers are "
+             "injected into each sharer (see docs/MQO.md)",
+    )
+    serve.add_argument(
+        "--mqo-epoch-size", type=int, default=8, metavar="N",
+        help="sessions per trading epoch before it seals (with --mqo; "
+             "default 8)",
+    )
+    serve.add_argument(
+        "--mqo-epoch-window", type=float, default=0.25, metavar="SECONDS",
+        help="wall seconds a partial epoch waits for company before "
+             "sealing anyway (with --mqo; default 0.25)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
@@ -628,6 +646,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         start_server,
     )
 
+    mqo = None
+    if args.mqo:
+        from repro.mqo import MQOConfig
+
+        mqo = MQOConfig(
+            epoch_size=args.mqo_epoch_size,
+            epoch_window=args.mqo_epoch_window,
+        )
     service = BrokerService(
         world_config=dict(
             nodes=args.nodes,
@@ -646,11 +672,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
         ),
         farm_workers=args.workers,
+        mqo=mqo,
     )
     server = start_server(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
-    print(f"broker listening on {server.url} (clock={args.clock})")
+    mode = f"clock={args.clock}" + (", mqo=on" if args.mqo else "")
+    print(f"broker listening on {server.url} ({mode})")
     print(f"  POST {server.url}/sessions          submit a query")
     print(f"  GET  {server.url}/sessions/<id>     session status")
     print(f"  GET  {server.url}/sessions/<id>/result")

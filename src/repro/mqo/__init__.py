@@ -1,0 +1,30 @@
+"""Cross-session multi-query optimization for the federation broker.
+
+Concurrent broker sessions batch into *trading epochs*; common subquery
+commodities are interned across buyers by canonical form, priced once
+per epoch by the sellers, and amortized across the sharing sessions as
+materialized-intermediate seed offers whose shares reconcile exactly
+back to the full price.  See :mod:`repro.mqo.epoch` for the scheduler,
+:mod:`repro.mqo.interner` for shared-commodity detection, and
+:mod:`repro.mqo.ledger` for the split-cost accounting.
+"""
+
+from repro.mqo.epoch import EpochScheduler, MQOConfig
+from repro.mqo.interner import CommodityInterner, SharedCommodity
+from repro.mqo.ledger import (
+    SharedPricing,
+    SharedPricingLedger,
+    amortized_offer,
+    money_shares,
+)
+
+__all__ = [
+    "EpochScheduler",
+    "MQOConfig",
+    "CommodityInterner",
+    "SharedCommodity",
+    "SharedPricing",
+    "SharedPricingLedger",
+    "amortized_offer",
+    "money_shares",
+]

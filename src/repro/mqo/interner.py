@@ -1,0 +1,167 @@
+"""The commodity interner: shared-subquery detection across buyers.
+
+Roy et al.'s multi-query optimization starts from common-subexpression
+identification; in the query-trading setting the tradable unit is a
+*subquery commodity*, so the interner enumerates each member query's
+connected relation subsets (connected under the query's equi-join
+graph — a disconnected subset would trade a Cartesian product nobody
+wants), projects the query onto each subset via
+:meth:`~repro.sql.query.SPJQuery.subquery_on`, and groups the results
+by canonical :meth:`~repro.sql.query.SPJQuery.key`.
+
+Canonicalization does the heavy lifting: ``key()`` re-sorts the FROM
+list and every conjunct, so two tenants' queries that differ only in a
+per-tenant selection on a relation *outside* the subset intern to the
+same commodity — the overlapping-analytics pattern where N tenants
+perturb ``r0`` while the join interior ``{r1..rk}`` is identical.
+Interning is syntactic-by-canonical-form: queries using different
+aliases for the same relations do not intern (the buyer plan generator
+stitches offers back by alias, so an alias-renamed seed would not
+compose anyway).
+
+A subset shared by at least ``share_threshold`` *distinct members*
+becomes a :class:`SharedCommodity`; the epoch scheduler prices each one
+once per epoch and amortizes the cost across its sharers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.query import SPJQuery
+
+__all__ = ["SharedCommodity", "CommodityInterner"]
+
+
+@dataclass
+class SharedCommodity:
+    """One interned subquery template and the members sharing it."""
+
+    key: str  # canonical SPJQuery.key() of the template
+    template: SPJQuery  # the (SELECT *) subquery, first member's form
+    members: list[str] = field(default_factory=list)  # sharer ids, in order
+
+    @property
+    def sharers(self) -> int:
+        return len(self.members)
+
+
+def _connected_subsets(
+    query: SPJQuery, min_size: int, max_size: int
+) -> list[frozenset[str]]:
+    """Connected alias subsets of *query* under its equi-join edges.
+
+    Grown breadth-first from each alias by adding join-adjacent aliases,
+    deduped, and returned in a deterministic order (by size, then by
+    sorted alias tuple).  Queries here are small (the workload caps at
+    a handful of relations), so the exponential worst case is moot.
+    """
+    adjacency: dict[str, set[str]] = {a: set() for a in query.aliases}
+    for conjunct in query.join_conjuncts():
+        tables = sorted(conjunct.tables())
+        for left in tables:
+            for right in tables:
+                if left != right:
+                    adjacency[left].add(right)
+    subsets: set[frozenset[str]] = set()
+    frontier: set[frozenset[str]] = {
+        frozenset((alias,)) for alias in query.aliases
+    }
+    while frontier:
+        grown: set[frozenset[str]] = set()
+        for subset in frontier:
+            if min_size <= len(subset) <= max_size:
+                subsets.add(subset)
+            if len(subset) >= max_size:
+                continue
+            reachable = set().union(
+                *(adjacency[alias] for alias in subset)
+            ) - set(subset)
+            for alias in reachable:
+                candidate = subset | {alias}
+                if candidate not in subsets and candidate not in grown:
+                    grown.add(candidate)
+        frontier = grown
+    return sorted(subsets, key=lambda s: (len(s), tuple(sorted(s))))
+
+
+class CommodityInterner:
+    """Groups member queries' connected subqueries by canonical key.
+
+    Parameters
+    ----------
+    min_relations:
+        Smallest subset worth sharing (default 2 — single-relation scans
+        are cheap enough that amortizing them is noise).
+    max_relations:
+        Cap on the subset size enumerated per query (bounds the
+        interning work for wide queries).
+    share_threshold:
+        Minimum number of *distinct members* that must share a subquery
+        for it to be interned (default 2: sharing with yourself is just
+        the ordinary offer cache).
+    """
+
+    def __init__(
+        self,
+        min_relations: int = 2,
+        max_relations: int = 4,
+        share_threshold: int = 2,
+    ):
+        if min_relations < 1:
+            raise ValueError("min_relations must be positive")
+        if max_relations < min_relations:
+            raise ValueError("max_relations must be >= min_relations")
+        if share_threshold < 2:
+            raise ValueError("share_threshold must be at least 2")
+        self.min_relations = min_relations
+        self.max_relations = max_relations
+        self.share_threshold = share_threshold
+
+    def subquery_keys(self, query: SPJQuery) -> dict[str, SPJQuery]:
+        """All of *query*'s connected-subset commodities, by canonical key.
+
+        The full query itself is excluded — interning it would trade the
+        member's entire answer, which is the session's own job (and two
+        members with byte-equal queries already share through the plain
+        offer cache).
+        """
+        out: dict[str, SPJQuery] = {}
+        for subset in _connected_subsets(
+            query, self.min_relations, self.max_relations
+        ):
+            if subset == query.aliases:
+                continue
+            sub = query.subquery_on(subset)
+            if sub is None or sub.is_unsatisfiable:
+                continue
+            out.setdefault(sub.key(), sub)
+        return out
+
+    def intern(
+        self, members: list[tuple[str, SPJQuery]]
+    ) -> list[SharedCommodity]:
+        """The shared commodities of *members* (``(member_id, query)``).
+
+        Members are processed in the given order, and each commodity's
+        sharer list preserves it — the epoch scheduler derives the
+        deterministic amortized-share assignment from that order.
+        """
+        commodities: dict[str, SharedCommodity] = {}
+        for member_id, query in members:
+            for key, sub in self.subquery_keys(query).items():
+                entry = commodities.get(key)
+                if entry is None:
+                    entry = SharedCommodity(key=key, template=sub)
+                    commodities[key] = entry
+                if member_id not in entry.members:
+                    entry.members.append(member_id)
+        shared = [
+            c
+            for c in commodities.values()
+            if c.sharers >= self.share_threshold
+        ]
+        # Deterministic order: widest templates first (they amortize the
+        # most work), canonical key breaking ties.
+        shared.sort(key=lambda c: (-len(c.template.relations), c.key))
+        return shared

@@ -162,6 +162,8 @@ DEFAULT_GATES = (
          when="buyer_gate_enforced"),
     Gate("faults", "ef1_cost_stable", "eq", 1),
     Gate("serving", "all_sessions_completed", "eq", 1),
+    Gate("mqo", "hit_rate_ratio", "ge", 5.0),
+    Gate("mqo", "aggregate_cost_improved", "eq", 1),
 )
 
 

@@ -55,6 +55,7 @@ def _offer_node(offer_id: int) -> dict[str, Any]:
         "money": None,
         "total_time": None,
         "cache": None,       # seller-side lineage: hit / miss / none
+        "shared": None,      # MQO sharer count (amortized commodities)
         "round": None,       # round the seller priced it in
         "value": None,       # buyer's valuation (set on receipt)
         "received": False,   # survived the network back to the buyer
@@ -158,6 +159,7 @@ class NegotiationLedger:
                     money=args.get("money"),
                     total_time=args.get("total_time"),
                     cache=args.get("cache"),
+                    shared=args.get("shared"),
                     round=args.get("round"),
                 )
             elif name == "ledger.offer":
@@ -169,6 +171,7 @@ class NegotiationLedger:
                     exact=args.get("exact", entry["exact"]),
                     money=args.get("money", entry["money"]),
                     total_time=args.get("total_time", entry["total_time"]),
+                    shared=args.get("shared", entry["shared"]),
                     value=args.get("value"),
                     received=True,
                     outcome=args.get("outcome"),

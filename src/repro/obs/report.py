@@ -144,6 +144,9 @@ def summarize(rows: Sequence[dict], top: int = 8) -> dict[str, Any]:
             outcome = row["name"].split(".", 1)[1]
             per_site = cache.setdefault(row["site"], {})
             per_site[outcome] = per_site.get(outcome, 0) + 1
+            if outcome == "hit" and row["args"].get("interned"):
+                # Hits on MQO-interned (epoch-priced) commodities.
+                per_site["interned"] = per_site.get("interned", 0) + 1
         elif row["name"] == "farm.serial_fallback" or row["name"] == "farm.serial_round":
             reason = str(row["args"].get("reason", "?"))
             farm[reason] = farm.get(reason, 0) + 1
@@ -278,11 +281,15 @@ def render_report(rows: Sequence[dict], top: int = 8) -> str:
                     site or "-",
                     hits,
                     misses,
+                    outcomes.get("interned", 0),
                     outcomes.get("evict", 0),
                     f"{hits / lookups:.1%}" if lookups else "-",
                 ]
             )
-        out.append(_table(["site", "hits", "misses", "evicts", "hit rate"], rows_))
+        out.append(_table(
+            ["site", "hits", "misses", "interned", "evicts", "hit rate"],
+            rows_,
+        ))
 
     if summary["farm"]:
         out.append("")

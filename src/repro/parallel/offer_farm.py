@@ -67,6 +67,13 @@ def _prepare_worker(agent: "SellerAgent", rfb: RequestForBids):
     pool tasks.
     """
     commodity._offer_ids = itertools.count(0)
+    # A pool forked inside an ``offer_id_scope`` (broker sessions mint
+    # ids under one) inherits the scope's ContextVar — set, in this
+    # process, forever: only the forking parent ever resets it.  Left
+    # in place it would shadow the reseeded module counter above, so
+    # offers would carry scoped ids instead of creation indices and
+    # ``total_created`` would read zero (no remap, colliding ids).
+    commodity._scoped_offer_ids.set(None)
     cache = agent.offer_cache
     before = set(cache._entries) if cache is not None else set()
     offers, work = agent.prepare_offers(rfb)

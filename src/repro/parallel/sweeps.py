@@ -90,6 +90,9 @@ def run_job(job: SweepJob):
     from repro.workload import chain_query
 
     commodity._offer_ids = itertools.count(1)
+    # Clear any fork-inherited offer-id scope (see offer_farm): a pool
+    # forked inside one would shadow the reseeded counter above.
+    commodity._scoped_offer_ids.set(None)
     world = build_world(**job.world)
     query = chain_query(**job.query)
     measurement = RUNNERS[job.runner](world, query, **job.run)

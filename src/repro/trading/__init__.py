@@ -28,7 +28,7 @@ from repro.trading.protocols import (
     NegotiationProtocol,
     VickreyAuctionProtocol,
 )
-from repro.trading.cache import CacheStats, OfferCache
+from repro.trading.cache import CacheStats, InternTable, OfferCache
 from repro.trading.seller import SellerAgent
 from repro.trading.subcontract import Subcontractor
 from repro.trading.market import Marketplace
@@ -56,6 +56,7 @@ __all__ = [
     "VickreyAuctionProtocol",
     "BargainingProtocol",
     "CacheStats",
+    "InternTable",
     "OfferCache",
     "SellerAgent",
     "Subcontractor",

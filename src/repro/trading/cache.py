@@ -32,7 +32,12 @@ from repro.trading.commodity import coverage_key
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.dp import DPResult
 
-__all__ = ["CacheStats", "OfferCache", "DEFAULT_HIT_WORK_FRACTION"]
+__all__ = [
+    "CacheStats",
+    "InternTable",
+    "OfferCache",
+    "DEFAULT_HIT_WORK_FRACTION",
+]
 
 #: Fraction of the original simulated optimization effort charged on a hit.
 DEFAULT_HIT_WORK_FRACTION = 0.1
@@ -42,11 +47,18 @@ CacheKey = tuple[str, tuple[tuple[str, tuple[int, ...]], ...], str, NodeCapabili
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, reportable as per-interval deltas."""
+    """Hit/miss counters, reportable as per-interval deltas.
+
+    ``intern_hits`` counts the subset of hits served from entries pinned
+    in an :class:`InternTable` — commodities priced once per MQO epoch
+    and reused by later sharers.  Zero whenever no intern table is
+    attached, so non-MQO accounting is unchanged.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    intern_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -61,16 +73,64 @@ class CacheStats:
         self.hits += other.hits
         self.misses += other.misses
         self.evictions += other.evictions
+        self.intern_hits += other.intern_hits
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.evictions)
+        return CacheStats(
+            self.hits, self.misses, self.evictions, self.intern_hits
+        )
 
     def delta_since(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(
             self.hits - earlier.hits,
             self.misses - earlier.misses,
             self.evictions - earlier.evictions,
+            self.intern_hits - earlier.intern_hits,
         )
+
+
+class InternTable:
+    """Cross-session registry of epoch-priced (interned) cache keys.
+
+    The MQO epoch scheduler pins here every cache key its shared-pricing
+    prepass stored, tagged with the epoch that priced it.  The owning
+    :class:`OfferCache` consults the table on every hit (to count
+    ``intern_hits``) and on eviction (pinned entries are evicted last,
+    so a shared commodity stays warm for its sharers).  Session views
+    and per-site worker snapshots share the one table — losing it in a
+    clone silently drops intern provenance from worker stats.
+    """
+
+    def __init__(self):
+        self._keys: dict[CacheKey, str] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._keys)
+
+    def __getstate__(self):
+        # Shipped to offer-farm workers inside cache snapshots.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def pin(self, key: CacheKey, tag: str) -> None:
+        """Mark *key* as an interned (epoch-priced) commodity."""
+        with self._lock:
+            self._keys[key] = tag
+
+    def contains(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._keys
+
+    def tag(self, key: CacheKey) -> str | None:
+        with self._lock:
+            return self._keys.get(key)
 
 
 class OfferCache:
@@ -112,6 +172,10 @@ class OfferCache:
         #: Observability hook (off by default; the trader attaches its
         #: network tracer, the offer farm a worker-local one).
         self.tracer: Tracer = NULL_TRACER
+        #: Cross-session intern table (``None`` outside MQO epochs).
+        #: Shared — like the entry dict — by session views and per-site
+        #: snapshots, so intern-hit attribution survives every path.
+        self.interns: InternTable | None = None
         self._entries: dict[CacheKey, "DPResult"] = {}
         self._lock = threading.Lock()
 
@@ -143,12 +207,16 @@ class OfferCache:
 
     def lookup(self, key: CacheKey) -> "DPResult | None":
         """The cached result for *key*, counting the hit or miss."""
+        interned = False
         with self._lock:
             result = self._entries.get(key)
             if result is None:
                 self.stats.misses += 1
             else:
                 self.stats.hits += 1
+                if self.interns is not None and self.interns.contains(key):
+                    interned = True
+                    self.stats.intern_hits += 1
         if result is None:
             if self.tracer.enabled:
                 self.tracer.event(
@@ -156,7 +224,8 @@ class OfferCache:
                 )
         elif self.tracer.enabled:
             self.tracer.event(
-                "cache.hit", "cache", site=key[2], optimizer=key[4]
+                "cache.hit", "cache", site=key[2], optimizer=key[4],
+                **({"interned": True} if interned else {}),
             )
         return result
 
@@ -167,12 +236,33 @@ class OfferCache:
                 self._entries[key] = result
                 return
             if len(self._entries) >= self.max_entries:
-                evicted = next(iter(self._entries))
+                # Interned (epoch-priced) entries are evicted last: a
+                # shared commodity must stay warm for the sharers that
+                # have not traded yet.  With no intern table this is
+                # exactly the historical FIFO choice.
+                evicted = next(
+                    (
+                        k
+                        for k in self._entries
+                        if self.interns is None
+                        or not self.interns.contains(k)
+                    ),
+                    None,
+                )
+                if evicted is None:
+                    evicted = next(iter(self._entries))
                 del self._entries[evicted]
                 self.stats.evictions += 1
             self._entries[key] = result
         if evicted is not None and self.tracer.enabled:
             self.tracer.event("cache.evict", "cache", site=evicted[2])
+
+    def keys(self) -> list[CacheKey]:
+        """The cached keys, in store order (the MQO epoch scheduler
+        diffs this around its shared-pricing prepass to learn which
+        keys to pin in the intern table)."""
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
         with self._lock:
@@ -192,6 +282,7 @@ class OfferCache:
         view.max_entries = self.max_entries
         view.stats = CacheStats()
         view.tracer = NULL_TRACER
+        view.interns = self.interns
         view._entries = self._entries
         view._lock = self._lock
         return view
@@ -206,11 +297,18 @@ class OfferCache:
         of the cache one seller can ever touch.  The copy is effectively
         unbounded: workers never evict — capacity policy is enforced by
         the parent when it replays the worker's stores.
+
+        The intern table rides along: a worker hit on an epoch-priced
+        key must count as an intern hit exactly as the serial path
+        would, including when the capacity guard later demotes the
+        round to serial and recounts on the parent view — otherwise the
+        stats-delta replay silently drops intern provenance.
         """
         clone = OfferCache(
             hit_work_fraction=self.hit_work_fraction,
             max_entries=2**31,
         )
+        clone.interns = self.interns
         with self._lock:
             clone._entries = {
                 key: result

@@ -154,6 +154,9 @@ class Offer:
     request_key: str  # canonical key of the RFB query this answers
     offer_id: int = field(default_factory=next_offer_id)
     true_cost: float = 0.0
+    #: Number of buyer sessions sharing this commodity's price (MQO
+    #: amortization); ``0`` for an ordinary single-buyer offer.
+    shared_by: int = 0
 
     @property
     def aliases(self) -> frozenset[str]:
@@ -192,11 +195,14 @@ class Offer:
             f"{alias}:{sorted(fids)}"
             for alias, fids in sorted(self.coverage.items())
         )
-        return (
+        base = (
             f"offer#{self.offer_id} {self.seller} [{cov}] "
             f"t={self.properties.total_time:.4f}s rows={self.properties.rows:.0f}"
             f" money={self.properties.money:.4f}"
         )
+        if self.shared_by:
+            base += f" shared_by={self.shared_by}"
+        return base
 
 
 @dataclass(frozen=True)
@@ -207,12 +213,22 @@ class RequestForBids:
     estimated value (reservation price) for it — the paper's step B1
     "the buyer strategically estimates the values it should ask for the
     queries in set Q".
+
+    ``shared_counts`` marks an *interned* RFB (issued by the MQO epoch
+    scheduler): it maps a query's canonical key to the number of buyer
+    sessions sharing that commodity this epoch, so sellers can stamp
+    their pricing lineage with the amortization factor.  Empty for
+    every ordinary single-session RFB.
     """
 
     buyer: str
     queries: tuple[SPJQuery, ...]
     reservations: Mapping[str, float] = field(default_factory=dict)
     round_number: int = 0
+    shared_counts: Mapping[str, int] = field(default_factory=dict)
 
     def reservation_for(self, query: SPJQuery) -> float | None:
         return self.reservations.get(query.key())
+
+    def shared_count_for(self, request_key: str) -> int:
+        return self.shared_counts.get(request_key, 0)

@@ -136,13 +136,20 @@ class NegotiationProtocol:
         tracer = network.tracer
         if tracer.enabled:
             # Award decisions with *settled* prices (a Vickrey protocol
-            # reprices between winning and final).
+            # reprices between winning and final).  An amortized MQO
+            # seed offer carries its sharer count so the award records
+            # show this price is one session's share of a split cost.
             for offer in final:
                 tracer.event(
                     "ledger.award", "decision", site=buyer,
                     offer=offer.offer_id, seller=offer.seller,
                     query=offer.query.key(), request=offer.request_key,
                     price=offer.properties.money, protocol=self.name,
+                    **(
+                        {"shared": offer.shared_by}
+                        if offer.shared_by
+                        else {}
+                    ),
                 )
         for offer in final:
             network.send(

@@ -174,7 +174,11 @@ class SellerAgent:
             # Decision-ledger provenance: one pricing record per offer
             # that survives dedupe, carrying the optimization lineage
             # (offer-cache hit vs fresh DP) of the request it answers.
+            # An interned RFB (MQO epoch prepass) additionally stamps
+            # the amortization factor: this price is shared by that
+            # many buyer sessions and charged once in aggregate.
             for offer in deduped:
+                shared = rfb.shared_count_for(offer.request_key)
                 tracer.event(
                     "ledger.priced", "decision", site=self.node,
                     offer=offer.offer_id,
@@ -187,6 +191,7 @@ class SellerAgent:
                     total_time=offer.properties.total_time,
                     cache=lineage.get(offer.request_key, "none"),
                     round=rfb.round_number,
+                    **({"shared": shared} if shared else {}),
                 )
         return deduped, work
 

@@ -173,6 +173,13 @@ class QueryTrader:
         when hit, the negotiation stops after the current round and the
         result is flagged ``budget_exhausted`` (broker sessions report
         it as a ``degraded`` completion).
+    seed_offers:
+        Offers injected into the buyer's cross-round offer table before
+        round one — the MQO epoch scheduler's amortized
+        materialized-intermediate offers.  They compete with (and are
+        displaced by) in-session offers under the ordinary valuation
+        rule, and participate in awards like any other offer.  The
+        default (no seeds) preserves every existing path exactly.
     """
 
     def __init__(
@@ -187,6 +194,7 @@ class QueryTrader:
         max_iterations: int = 6,
         improvement_epsilon: float = 1e-3,
         offer_budget: int | None = None,
+        seed_offers: Sequence[Offer] | None = None,
     ):
         self.buyer = buyer
         self.sellers = dict(sellers)
@@ -201,6 +209,7 @@ class QueryTrader:
         #: (a per-session compute budget under the broker).  ``None``
         #: preserves the unbudgeted historical behavior exactly.
         self.offer_budget = offer_budget
+        self.seed_offers: list[Offer] = list(seed_offers or ())
         self.analyser = BuyerPredicatesAnalyser(plan_generator.builder.schemes)
 
     # ------------------------------------------------------------------
@@ -255,6 +264,41 @@ class QueryTrader:
         estimates: dict[str, float] = {}
         if initial_value is not None:
             estimates[query.key()] = initial_value
+        # MQO seeds enter the offer table before round one, exactly as
+        # if a round-zero solicitation had produced them; in-session
+        # offers for the same commodity displace them only by beating
+        # them under the ordinary valuation rule.
+        for offer in self.seed_offers:
+            key = (
+                offer.seller,
+                offer.query.key(),
+                offer.coverage_key(),
+                offer.exact_projections,
+            )
+            offers[key] = offer
+            value = self.valuation(offer.properties)
+            estimate = estimates.get(offer.query.key())
+            if estimate is None or value < estimate:
+                estimates[offer.query.key()] = value
+            if net.tracer.enabled:
+                net.tracer.event(
+                    "ledger.offer", "decision", site=self.buyer,
+                    offer=offer.offer_id,
+                    seller=offer.seller,
+                    query=offer.query.key(),
+                    coverage=coverage_label(offer.coverage_key()),
+                    exact=offer.exact_projections,
+                    round=0,
+                    money=offer.properties.money,
+                    total_time=offer.properties.total_time,
+                    value=value,
+                    outcome="seeded",
+                    **(
+                        {"shared": offer.shared_by}
+                        if offer.shared_by
+                        else {}
+                    ),
+                )
         queries: list[SPJQuery] = [query]
         trace: list[IterationTrace] = []
         iterations = 0

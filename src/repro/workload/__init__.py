@@ -4,8 +4,11 @@ from repro.workload.generator import WorkloadConfig, chain_query, star_query, ge
 from repro.workload.scenarios import (
     BurstArrival,
     BurstConfig,
+    OverlapArrival,
+    OverlapConfig,
     TelecomScenario,
     build_bursty_workload,
+    build_overlapping_analytics,
     build_telecom_scenario,
 )
 
@@ -19,4 +22,7 @@ __all__ = [
     "BurstArrival",
     "BurstConfig",
     "build_bursty_workload",
+    "OverlapArrival",
+    "OverlapConfig",
+    "build_overlapping_analytics",
 ]

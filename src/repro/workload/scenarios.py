@@ -37,6 +37,9 @@ __all__ = [
     "BurstConfig",
     "BurstArrival",
     "build_bursty_workload",
+    "OverlapConfig",
+    "OverlapArrival",
+    "build_overlapping_analytics",
 ]
 
 OFFICE_NAMES = (
@@ -312,6 +315,100 @@ def build_bursty_workload(
                     arrival=start + rng.uniform(0.0, config.jitter),
                     tenant=f"tenant-{index % config.tenants}",
                     query=queries[index],
+                )
+            )
+    arrivals.sort(key=lambda a: (a.arrival, a.tenant))
+    return arrivals
+
+
+# ----------------------------------------------------------------------
+# Overlapping multi-tenant analytics (the MQO benchmark scenario)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OverlapConfig:
+    """A multi-tenant analytics workload with heavy subquery overlap.
+
+    *tenants* dashboards refresh together in waves, each drawing its
+    query from a small pool of shared chain-join *templates* and
+    perturbing only the driving selection (``r0.cat = <c>``) per tenant
+    — the canonical cross-session MQO shape: the join interior of every
+    template (``r1 ⋈ r2 ⋈ ...``) is byte-identical across tenants, so a
+    shared-subquery interner can price it once per wave, while the
+    selection perturbation keeps the *full* queries distinct.
+
+    Templates are chain queries over staggered relation windows
+    (``relation_offset`` shifts which base relations each template
+    joins), so distinct templates share little with each other but
+    everything within themselves.
+    """
+
+    tenants: int = 6
+    #: Queries each tenant fires (one per wave).
+    queries_per_tenant: int = 2
+    #: Size of the shared template pool (must fit the relation windows:
+    #: at most ``available_relations - template_relations + 1``).
+    templates: int = 2
+    #: Relations joined by each template chain.
+    template_relations: int = 3
+    available_relations: int = 6
+    #: Distinct ``r0.cat`` selection values tenants perturb over.
+    distinct_selections: int = 4
+    #: Seconds between dashboard refresh waves, and per-tenant jitter
+    #: inside a wave.
+    wave_spacing: float = 0.5
+    jitter: float = 0.05
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class OverlapArrival:
+    """One analytics refresh: when, which tenant, which template, what."""
+
+    arrival: float
+    tenant: str
+    template: int
+    query: "SPJQuery"
+
+
+def build_overlapping_analytics(
+    config: OverlapConfig = OverlapConfig(),
+) -> list[OverlapArrival]:
+    """The reproducible overlapping-analytics schedule, sorted by time.
+
+    Wave ``w`` carries one query per tenant, all landing within
+    *jitter* of the wave start — exactly the near-simultaneous arrival
+    pattern an MQO epoch batcher exists to exploit.  The same seed
+    always produces the same queries at the same offsets.
+    """
+    from repro.workload.generator import chain_query
+
+    max_offset = config.available_relations - config.template_relations
+    if max_offset < 0:
+        raise ValueError(
+            "template_relations exceeds available_relations"
+        )
+    if config.templates < 1 or config.templates > max_offset + 1:
+        raise ValueError(
+            f"templates must be in [1, {max_offset + 1}] for "
+            f"{config.available_relations} available relations"
+        )
+    rng = random.Random(config.seed)
+    arrivals: list[OverlapArrival] = []
+    for wave in range(config.queries_per_tenant):
+        start = wave * config.wave_spacing
+        for t in range(config.tenants):
+            template = rng.randrange(config.templates)
+            cat = rng.randrange(config.distinct_selections)
+            arrivals.append(
+                OverlapArrival(
+                    arrival=start + rng.uniform(0.0, config.jitter),
+                    tenant=f"tenant-{t}",
+                    template=template,
+                    query=chain_query(
+                        config.template_relations,
+                        selection_cat=cat,
+                        relation_offset=template,
+                    ),
                 )
             )
     arrivals.sort(key=lambda a: (a.arrival, a.tenant))

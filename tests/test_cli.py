@@ -105,7 +105,7 @@ class TestExperiment:
         assert "[E9]" in out
 
     def test_registry_complete(self):
-        expected = {f"E{i}" for i in range(1, 14)}
+        expected = {f"E{i}" for i in range(1, 15)}
         expected |= {"E-F1", "E-F2", "E-F3"}
         assert set(EXPERIMENTS) == expected
 
