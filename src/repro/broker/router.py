@@ -13,7 +13,14 @@ Endpoints
 ``GET  /sessions/<id>/result``completed result (409 until terminal)
 ``GET  /sessions/<id>/explain`` provenance audit (``?subquery=`` filter)
 ``GET  /metrics``             serving metrics (occupancy, p50/p99, registry)
+``GET  /metrics/prom``        Prometheus text exposition (``--live-obs`` adds
+                              site/SLO/q-error families)
+``GET  /sites``               per-site live statistics registry (``--live-obs``)
+``GET  /events``              recent-event ring page (``?since=&limit=``)
 ``GET  /healthz``             liveness + occupancy
+
+String payloads (``/metrics/prom``) pass through to the server verbatim
+as ``text/plain``; everything else is JSON.
 """
 
 from __future__ import annotations
@@ -50,6 +57,9 @@ class Router:
                 self._explain,
             ),
             ("GET", re.compile(r"^/metrics/?$"), self._metrics),
+            ("GET", re.compile(r"^/metrics/prom/?$"), self._metrics_prom),
+            ("GET", re.compile(r"^/sites/?$"), self._sites),
+            ("GET", re.compile(r"^/events/?$"), self._events),
             ("GET", re.compile(r"^/healthz/?$"), self._healthz),
         ]
 
@@ -115,6 +125,28 @@ class Router:
 
     def _metrics(self, body: bytes, params: dict) -> tuple[int, dict]:
         return 200, self.service.metrics_payload()
+
+    def _metrics_prom(self, body: bytes, params: dict) -> tuple[int, str]:
+        return 200, self.service.prom_payload()
+
+    def _sites(self, body: bytes, params: dict) -> tuple[int, dict]:
+        return 200, self.service.sites_payload()
+
+    def _events(self, body: bytes, params: dict) -> tuple[int, dict]:
+        def _int_param(name: str, default: int) -> int:
+            raw = params.get(name)
+            if raw is None:
+                return default
+            try:
+                return int(raw)
+            except ValueError as exc:
+                raise BrokerError(
+                    400, f"{name} must be an integer, got {raw!r}"
+                ) from exc
+
+        return 200, self.service.events_payload(
+            since=_int_param("since", 0), limit=_int_param("limit", 1000)
+        )
 
     def _healthz(self, body: bytes, params: dict) -> tuple[int, dict]:
         occupancy = self.service.controller.occupancy()

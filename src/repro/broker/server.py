@@ -32,9 +32,15 @@ class _Handler(BaseHTTPRequestHandler):
         status, payload = self.server.router.dispatch(
             self.command, self.path, body
         )
-        data = json.dumps(payload, sort_keys=True, default=str).encode()
+        if isinstance(payload, str):
+            # Text payloads (the Prometheus exposition) go out verbatim.
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload, sort_keys=True, default=str).encode()
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

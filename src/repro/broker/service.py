@@ -65,8 +65,9 @@ from repro.trading.cache import CacheStats
 from repro.trading.commodity import Offer, offer_id_scope
 from repro.trading.protocols import SolicitResult
 
-if False:  # pragma: no cover - typing only (avoid a hard mqo import)
+if False:  # pragma: no cover - typing only (avoid hard optional imports)
     from repro.mqo import EpochScheduler, MQOConfig
+    from repro.obs.live import LiveObsConfig, LiveObsHub
 
 __all__ = ["BrokerError", "OrderedBiddingProtocol", "BrokerService"]
 
@@ -143,6 +144,7 @@ class BrokerService:
         farm_workers: int = 1,
         quiesce_timeout: float = 60.0,
         mqo: "MQOConfig | None" = None,
+        live_obs: "LiveObsConfig | None" = None,
     ):
         if clock not in ("sim", "async"):
             raise ValueError("clock must be 'sim' or 'async'")
@@ -155,6 +157,14 @@ class BrokerService:
         self.farm_workers = farm_workers
         self.quiesce_timeout = quiesce_timeout
         self.metrics = MetricsRegistry()
+        self._started = time.monotonic()
+        #: The live observability hub (``None`` unless opted in — the
+        #: disabled broker has no live code on the session path at all).
+        self.live: "LiveObsHub | None" = None
+        if live_obs is not None:
+            from repro.obs.live import LiveObsHub
+
+            self.live = LiveObsHub(self.world, live_obs)
         self._sessions: dict[str, BrokerSession] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -239,6 +249,8 @@ class BrokerService:
         with self._lock:
             self._sessions[session.session_id] = session
         self.metrics.inc("broker.sessions_submitted", tenant=spec.tenant)
+        if self.live is not None:
+            self.live.observe_submitted(session)
         if self.mqo is not None:
             # Sessions batch into a trading epoch first; the scheduler
             # calls _dispatch (possibly with seed offers attached) when
@@ -272,8 +284,10 @@ class BrokerService:
             else:
                 clock = Simulator()
             network = Network(self.world.model, clock=clock)
+            tracer = None
             if session.spec.trace:
-                network.attach_tracer(Tracer())
+                tracer = Tracer()
+                network.attach_tracer(tracer)
             cache_view = (
                 self.world.offer_cache.session_view()
                 if self.world.offer_cache is not None
@@ -303,6 +317,10 @@ class BrokerService:
                 seed_offers=session.seed_offers,
             )
             session.result = trader.optimize(session.spec.query)
+            if self.live is not None and tracer is not None:
+                # Stash the session's trace for the live registries; the
+                # hub consumes (and frees) it at terminal bookkeeping.
+                session.live_records = list(tracer.records)
 
     # -- bookkeeping -------------------------------------------------------
     def note_terminal(self, session: BrokerSession) -> None:
@@ -321,6 +339,8 @@ class BrokerService:
                 self._latencies.append(latency)
                 if len(self._latencies) > _MAX_LATENCIES:
                     del self._latencies[: -_MAX_LATENCIES]
+        if self.live is not None:
+            self.live.observe_terminal(session)
         self._update_gauges()
 
     def _update_gauges(self) -> None:
@@ -390,19 +410,33 @@ class BrokerService:
             )
         return explain(session.result, subquery=subquery).to_dict()
 
-    def metrics_payload(self) -> dict:
-        """Serving metrics: occupancy, totals, p50/p99 latency."""
+    def _rollup(self) -> dict:
+        """The one shared serving rollup both metric surfaces render.
+
+        ``/metrics`` (JSON) and ``/metrics/prom`` (Prometheus text) are
+        generated from this dict field-for-field, so the two surfaces
+        cannot drift apart.
+        """
         occupancy = self.controller.occupancy()
         with self._lock:
             latencies = sorted(self._latencies)
             cache = self._cache_totals.snapshot()
-        payload = {
+        return {
             "clock": self.clock_mode,
+            "uptime_s": round(time.monotonic() - self._started, 3),
             "active_sessions": occupancy["running"],
             "queue_depth": occupancy["queued"],
             "admitted_total": occupancy["admitted_total"],
             "shed_total": occupancy["shed_total"],
             "completed_total": len(latencies),
+            "states": {
+                "active": occupancy["running"],
+                "queued": occupancy["queued"],
+                "shed": occupancy["shed_total"],
+                "completed": self.metrics.total("broker.sessions_completed"),
+                "degraded": self.metrics.total("broker.sessions_degraded"),
+                "failed": self.metrics.total("broker.sessions_failed"),
+            },
             "latency_ms": {
                 "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
                 "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
@@ -413,11 +447,118 @@ class BrokerService:
                 "intern_hits": cache.intern_hits,
                 "hit_rate": round(cache.hit_rate, 6),
             },
-            "registry": self.metrics.to_dict(),
         }
+
+    def metrics_payload(self) -> dict:
+        """Serving metrics: occupancy, per-state counts, p50/p99 latency."""
+        payload = dict(self._rollup())
+        payload["registry"] = self.metrics.to_dict()
         if self.mqo is not None:
             payload["mqo"] = self.mqo.metrics()
+        if self.live is not None:
+            payload["slo"] = self.live.slo.summary()
         return payload
+
+    def prom_payload(self) -> str:
+        """The ``GET /metrics/prom`` Prometheus text exposition."""
+        from repro.obs.live.prom import render_prometheus
+
+        rollup = self._rollup()
+
+        def broker_families(builder) -> None:
+            builder.gauge(
+                "broker_info",
+                "broker identity (labels carry the clock kind)",
+                1,
+                clock=rollup["clock"],
+            )
+            builder.gauge(
+                "broker_uptime_seconds",
+                "seconds since the broker service started",
+                rollup["uptime_s"],
+            )
+            builder.gauge(
+                "broker_sessions_active",
+                "sessions currently negotiating",
+                rollup["active_sessions"],
+            )
+            builder.gauge(
+                "broker_sessions_queued",
+                "sessions admitted but not yet running",
+                rollup["queue_depth"],
+            )
+            builder.counter(
+                "broker_admitted",
+                "sessions admitted since start",
+                rollup["admitted_total"],
+            )
+            builder.counter(
+                "broker_shed",
+                "sessions shed at admission since start",
+                rollup["shed_total"],
+            )
+            builder.counter(
+                "broker_completed",
+                "sessions that finished negotiating since start",
+                rollup["completed_total"],
+            )
+            for state, count in sorted(rollup["states"].items()):
+                builder.gauge(
+                    "broker_session_states",
+                    "session count per lifecycle state",
+                    count,
+                    state=state,
+                )
+            for quantile in ("p50", "p99"):
+                builder.gauge(
+                    "broker_latency_quantile_ms",
+                    "session latency quantiles in milliseconds",
+                    rollup["latency_ms"][quantile],
+                    quantile=quantile,
+                )
+            for outcome in ("hits", "misses", "intern_hits"):
+                builder.counter(
+                    "broker_cache_lookups",
+                    "shared offer-cache lookups by outcome",
+                    rollup["cache"][outcome],
+                    outcome=outcome,
+                )
+            builder.gauge(
+                "broker_cache_hit_rate",
+                "shared offer-cache hit rate",
+                rollup["cache"]["hit_rate"],
+            )
+            if self.mqo is not None:
+                for key, value in sorted(self.mqo.metrics().items()):
+                    if isinstance(value, (int, float)) and not isinstance(
+                        value, bool
+                    ):
+                        builder.gauge(
+                            f"broker_mqo_{key}",
+                            f"mqo epoch scheduler metric {key}",
+                            value,
+                        )
+
+        builders = [broker_families]
+        if self.live is not None:
+            builders.append(self.live.prom_families)
+        return render_prometheus(self.metrics, build=builders)
+
+    def events_payload(self, since: int = 0, limit: int = 1000) -> dict:
+        """The ``GET /events?since=`` ring-buffer page."""
+        if self.live is None:
+            raise BrokerError(
+                404, "live observability is not enabled (serve with --live-obs)"
+            )
+        return self.live.events.since(since, limit)
+
+    def sites_payload(self) -> dict:
+        """The ``GET /sites`` per-site registry + q-error snapshot."""
+        if self.live is None:
+            raise BrokerError(
+                404, "live observability is not enabled (serve with --live-obs)"
+            )
+        return self.live.sites_payload()
 
     # -- lifecycle ---------------------------------------------------------
     def drain(self, timeout: float = 60.0) -> bool:

@@ -84,6 +84,10 @@ class BrokerSession:
         self.seed_offers: "list | None" = None
         #: The trading epoch that seeded this session (``None`` if none).
         self.epoch: str | None = None
+        #: The session's trace records, stashed for the live-obs hub
+        #: (``None`` unless the broker runs with live observability; the
+        #: hub clears it once the session is folded into the registries).
+        self.live_records: "list | None" = None
         self._done = threading.Event()
 
     @property
@@ -101,6 +105,11 @@ class BrokerSession:
         self.state = state
         self.error = error
         self.finished_at = time.monotonic()
+
+    def mark_done(self) -> None:
+        """Release :meth:`wait` — called after terminal bookkeeping, so
+        a returned ``wait()``/``drain()`` means metrics and live-obs
+        registries already reflect this session."""
         self._done.set()
 
     def wait(self, timeout: float | None = None) -> bool:
@@ -171,8 +180,11 @@ class SessionManager:
         self, session: BrokerSession, state: str, error: str | None = None
     ) -> None:
         session.finish(state, error=error)
-        if self._on_terminal is not None:
-            self._on_terminal(session)
+        try:
+            if self._on_terminal is not None:
+                self._on_terminal(session)
+        finally:
+            session.mark_done()
 
     def queue_depth(self) -> int:
         with self._cond:

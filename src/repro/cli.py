@@ -295,7 +295,43 @@ def _build_parser() -> argparse.ArgumentParser:
              "sealing anyway (with --mqo; default 0.25)",
     )
     serve.add_argument(
+        "--live-obs", action="store_true",
+        help="enable live serving observability: per-site statistics "
+             "registry, q-error observatory, SLO tracking, Prometheus "
+             "exposition at /metrics/prom, /sites, and /events "
+             "(see docs/OBSERVABILITY.md)",
+    )
+    serve.add_argument(
+        "--qerror-sample", type=int, default=4, metavar="N",
+        help="run the q-error observatory on every Nth completed "
+             "session (with --live-obs; 0 disables sampling; default 4)",
+    )
+    serve.add_argument(
+        "--events-capacity", type=int, default=512, metavar="N",
+        help="ring-buffer capacity of the /events stream "
+             "(with --live-obs; default 512)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
+    )
+
+    sites = sub.add_parser(
+        "sites",
+        help="dump a live broker's per-site statistics registry "
+             "(requires serve --live-obs)",
+    )
+    sites.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="broker base URL (default http://127.0.0.1:8642)",
+    )
+    sites.add_argument(
+        "--json", action="store_true",
+        help="emit the raw /sites payload as JSON",
+    )
+    sites.add_argument(
+        "--trace-out", metavar="PATH",
+        help="also write live.site/live.qerror JSONL rows to PATH; "
+             "`repro report PATH` renders them as a per-site table",
     )
     return parser
 
@@ -654,6 +690,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             epoch_size=args.mqo_epoch_size,
             epoch_window=args.mqo_epoch_window,
         )
+    live_obs = None
+    if args.live_obs:
+        from repro.obs.live import LiveObsConfig
+
+        live_obs = LiveObsConfig(
+            qerror_sample_every=args.qerror_sample,
+            data_seed=args.seed,
+            events_capacity=args.events_capacity,
+        )
     service = BrokerService(
         world_config=dict(
             nodes=args.nodes,
@@ -673,18 +718,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         farm_workers=args.workers,
         mqo=mqo,
+        live_obs=live_obs,
     )
     server = start_server(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
-    mode = f"clock={args.clock}" + (", mqo=on" if args.mqo else "")
+    mode = (
+        f"clock={args.clock}"
+        + (", mqo=on" if args.mqo else "")
+        + (", live-obs=on" if args.live_obs else "")
+    )
     print(f"broker listening on {server.url} ({mode})")
     print(f"  POST {server.url}/sessions          submit a query")
     print(f"  GET  {server.url}/sessions/<id>     session status")
     print(f"  GET  {server.url}/sessions/<id>/result")
     print(f"  GET  {server.url}/sessions/<id>/explain")
+    print(f"  GET  {server.url}/metrics", end="")
+    if args.live_obs:
+        print()
+        print(f"  GET  {server.url}/metrics/prom      Prometheus text format")
+        print(f"  GET  {server.url}/sites             per-site live registry")
+        print(f"  GET  {server.url}/events?since=N    recent event ring",
+              end="")
     # Flush so wrappers piping stdout see the URL before first request.
-    print(f"  GET  {server.url}/metrics", flush=True)
+    print(flush=True)
     try:
         while True:
             time.sleep(3600)
@@ -692,6 +749,118 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         server.shutdown_broker()
+    return 0
+
+
+def _live_trace_rows(payload: dict) -> list[dict]:
+    """``/sites`` payload -> ``live.site``/``live.qerror`` trace rows.
+
+    The rows are flat-JSONL trace records (``kind: event``) carrying
+    precomputed scalars, so ``repro report`` renders them without
+    knowing anything about sketches.
+    """
+    from repro.obs.live import QuantileSketch
+
+    rows: list[dict] = []
+    for site, stats in sorted((payload.get("sites") or {}).items()):
+        settled = QuantileSketch.from_dict(stats.get("settled") or {})
+        latency = QuantileSketch.from_dict(stats.get("latency") or {})
+        rows.append({
+            "kind": "event",
+            "name": "live.site",
+            "cat": "live",
+            "sim_start": 0.0,
+            "sim_end": 0.0,
+            "site": site,
+            "args": {
+                "wins": stats.get("wins", 0),
+                "losses": stats.get("losses", 0),
+                "win_rate": stats.get("win_rate", 0.0),
+                "offers_priced": stats.get("offers_priced", 0),
+                "offers_received": stats.get("offers_received", 0),
+                "rfbs_handled": stats.get("rfbs_handled", 0),
+                "rfbs_answered": stats.get("rfbs_answered", 0),
+                "settled_mean": round(settled.mean, 9),
+                "latency_p95": latency.quantile(0.95),
+            },
+        })
+    for key, cell in sorted((payload.get("qerror") or {}).get(
+            "cells", {}).items()):
+        site, _, size = key.rpartition("|")
+        rows.append({
+            "kind": "event",
+            "name": "live.qerror",
+            "cat": "live",
+            "sim_start": 0.0,
+            "sim_end": 0.0,
+            "site": site,
+            "args": {
+                "relations": size,
+                "count": cell.get("count", 0),
+                "mean": cell.get("mean", 0.0),
+                "max": cell.get("max", 0.0),
+                "p50": cell.get("p50", 0.0),
+                "p90": cell.get("p90", 0.0),
+            },
+        })
+    return rows
+
+
+def _cmd_sites(args: argparse.Namespace) -> int:
+    import json as json_module
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/sites"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            body = resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        print(f"broker refused {url}: HTTP {exc.code} {detail}",
+              file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot reach broker at {url}: {exc}", file=sys.stderr)
+        return 2
+    payload = json_module.loads(body)
+    # Flatten the nested payload once: registry state lives under
+    # "sites", the q-error snapshot under "qerror".
+    registry = payload.get("sites") or {}
+    flat = {"sites": registry.get("sites"), "qerror": payload.get("qerror")}
+    rows = _live_trace_rows(flat)
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            for row in rows:
+                fh.write(json_module.dumps(row, sort_keys=True) + "\n")
+        print(f"live-obs trace: {len(rows)} rows -> {args.trace_out}",
+              file=sys.stderr)
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    from repro.obs import render_report
+
+    print(
+        f"broker live registry: {registry.get('sessions', 0)} sessions, "
+        f"{registry.get('rounds', 0)} rounds, "
+        f"rfb fanout {registry.get('rfb_fanout', 0)} "
+        f"(response ratio {registry.get('response_ratio', 0.0):.1%})"
+    )
+    if rows:
+        # The report renderer already knows how to draw live rows.
+        report = render_report(rows)
+        print("\n".join(report.splitlines()[1:]).lstrip("\n"))
+    offenders = payload.get("worst_estimators") or []
+    if offenders:
+        print()
+        print("worst estimator buckets (by q-error p90):")
+        for entry in offenders:
+            print(
+                f"  {entry.get('site', '?')} x{entry.get('relations', '?')} "
+                f"relations: p90={entry.get('p90', 0.0):g} "
+                f"mean={entry.get('mean', 0.0):g} "
+                f"n={entry.get('count', 0)}"
+            )
     return 0
 
 
@@ -707,6 +876,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "list-experiments": _cmd_list,
         "serve": _cmd_serve,
+        "sites": _cmd_sites,
     }
     return handlers[args.command](args)
 

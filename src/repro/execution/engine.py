@@ -254,12 +254,21 @@ class PlanExecutor:
     the finished plan) are :class:`ResultSet` values.  The executor is
     deliberately independent of the cost model — it checks plan
     *semantics*, not timing.
+
+    *observer*, when given, is called as ``observer(plan_node,
+    observed_rows)`` after each node's output is materialized — the hook
+    the q-error observatory uses to compare the optimizer's estimated
+    cardinality (``plan.rows``) against reality without the engine
+    knowing anything about metrics.
     """
 
-    def __init__(self, data: FederationData, query: SPJQuery):
+    def __init__(
+        self, data: FederationData, query: SPJQuery, observer=None
+    ):
         self.data = data
         self.query = query
         self.schemas = data.catalog.schemas
+        self.observer = observer
 
     def run(self, plan: Plan) -> ResultSet:
         value = self._execute(plan)
@@ -278,6 +287,13 @@ class PlanExecutor:
 
     # ------------------------------------------------------------------
     def _execute(self, plan: Plan):
+        value = self._execute_node(plan)
+        if self.observer is not None:
+            observed = len(value.rows) if isinstance(value, ResultSet) else len(value)
+            self.observer(plan, observed)
+        return value
+
+    def _execute_node(self, plan: Plan):
         if isinstance(plan, Purchased):
             return self._execute_purchased(plan)
         if isinstance(plan, FragmentScan):

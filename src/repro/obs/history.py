@@ -43,7 +43,14 @@ HISTORY_SCHEMA_VERSION = 1
 DEFAULT_HISTORY_PATH = "benchmarks/results/bench_history.jsonl"
 
 
-def _git_sha() -> str:
+def _git_sha() -> str | None:
+    """The short HEAD sha, or ``None`` outside a git checkout.
+
+    Never raises: a missing ``git`` binary, a non-repo working
+    directory, or a hung subprocess all degrade to the ``GITHUB_SHA``
+    environment fallback and then to ``None`` — bench artifacts stay
+    writable from exported tarballs.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -51,9 +58,9 @@ def _git_sha() -> str:
         )
         if out.returncode == 0 and out.stdout.strip():
             return out.stdout.strip()
-    except OSError:
+    except (OSError, subprocess.SubprocessError):
         pass
-    return os.environ.get("GITHUB_SHA", "unknown")[:12] or "unknown"
+    return os.environ.get("GITHUB_SHA", "")[:12] or None
 
 
 def run_envelope() -> dict[str, Any]:
@@ -156,6 +163,7 @@ class Gate:
 DEFAULT_GATES = (
     Gate("enumeration", "eight_join_speedup", "ge", 3.0),
     Gate("obs_overhead", "worst_null_overhead", "lt", 0.05),
+    Gate("obs_overhead", "live_overhead", "lt", 0.10),
     Gate("parallel", "eight_join_speedup", "ge", 2.0,
          when="speedup_gate_enforced"),
     Gate("parallel", "twelve_join_buyer_speedup", "ge", 3.0,

@@ -1,0 +1,62 @@
+"""Live serving observability: streaming per-site statistics for the broker.
+
+PR 4/5 built *post-hoc* observability — traces, ledgers, and reports
+over completed runs.  This package is the *live* counterpart the
+long-running broker daemon needs: continuously-aggregated statistics
+that answer "how are the sellers doing right now?" without holding
+whole-run traces in memory.
+
+* :class:`QuantileSketch` — a deterministic, mergeable streaming
+  quantile sketch over fixed log-spaced buckets.  All state is integer
+  bucket counts plus an integer-scaled sum, so aggregation is
+  order-independent: registries built from sessions completing in any
+  interleaving (thread counts, clock kinds) are byte-identical.
+* :class:`SiteStatsRegistry` — per-site win/loss counts, settled-price
+  and valuation sketches, offer-latency sketches, and RFB
+  fanout/response accounting, consumed from decision ledgers and trace
+  records as sessions complete.  Snapshot/restore round-trips exactly.
+* :class:`QErrorObservatory` — runs purchased plans through the
+  execution engine on sampled sessions and histograms
+  observed-vs-estimated cardinality q-error per (site, relation-set
+  size): the calibration signal mid-execution re-trading will consume.
+* :func:`render_prometheus` / :func:`parse_prometheus_text` —
+  Prometheus text-format exposition (``GET /metrics/prom``) and the
+  strict parser the tests and CI validate it with.
+* :class:`EventRing` — a bounded ring buffer of recent broker events
+  behind ``GET /events?since=``.
+* :class:`SLOTracker` — p50/p99 session latency plus shed/degraded
+  budget tracking, per-run and per fixed-size session epoch.
+* :class:`LiveObsHub` — the broker-facing coordinator tying the above
+  together (see :class:`repro.broker.service.BrokerService`).
+
+Everything here is stdlib-only and opt-in (``repro serve --live-obs``);
+when disabled the broker's hot path is untouched.  See
+``docs/OBSERVABILITY.md`` ("Live serving observability").
+"""
+
+from repro.obs.live.events import EventRing
+from repro.obs.live.hub import LiveObsConfig, LiveObsHub
+from repro.obs.live.prom import (
+    PromParseError,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.obs.live.qerror import QERROR_BUCKETS, QErrorObservatory
+from repro.obs.live.registry import SiteStatsRegistry
+from repro.obs.live.sketch import QuantileSketch
+from repro.obs.live.slo import SLOConfig, SLOTracker
+
+__all__ = [
+    "EventRing",
+    "LiveObsConfig",
+    "LiveObsHub",
+    "PromParseError",
+    "QERROR_BUCKETS",
+    "QErrorObservatory",
+    "QuantileSketch",
+    "SLOConfig",
+    "SLOTracker",
+    "SiteStatsRegistry",
+    "parse_prometheus_text",
+    "render_prometheus",
+]

@@ -1,0 +1,66 @@
+"""Bounded ring buffer of recent broker events, served at ``GET /events``.
+
+Operators tailing a long-running broker need "what just happened"
+without the broker holding whole-run traces in memory.  The ring keeps
+the last *capacity* events, each stamped with a monotonically increasing
+integer id; clients poll ``/events?since=<cursor>`` and get everything
+newer plus the new cursor to resume from.  If the client falls behind by
+more than the capacity, the response's ``dropped`` count says how many
+events were evicted before it caught up — the cursor protocol never
+blocks the broker.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["EventRing"]
+
+DEFAULT_CAPACITY = 512
+MAX_LIMIT = 1000
+
+
+class EventRing:
+    """Fixed-capacity event log with a monotonically increasing cursor."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._next_id = 1
+
+    def append(self, kind: str, **fields) -> int:
+        """Record an event; returns its cursor id."""
+        with self._lock:
+            event = {"id": self._next_id, "kind": kind}
+            event.update(fields)
+            self._events.append(event)
+            self._next_id += 1
+            return event["id"]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def cursor(self) -> int:
+        """The id of the most recent event (0 when empty-forever)."""
+        with self._lock:
+            return self._next_id - 1
+
+    def since(self, cursor: int = 0, limit: int = MAX_LIMIT) -> dict:
+        """Events with id > *cursor*, oldest first, capped at *limit*.
+
+        Returns ``{"events": [...], "cursor": <resume-from>,
+        "dropped": <evicted-before-catchup>}``.
+        """
+        limit = max(1, min(int(limit), MAX_LIMIT))
+        with self._lock:
+            oldest = self._events[0]["id"] if self._events else self._next_id
+            dropped = max(0, oldest - max(int(cursor), 0) - 1) if cursor < oldest else 0
+            selected = [e for e in self._events if e["id"] > cursor][:limit]
+            resume = selected[-1]["id"] if selected else max(cursor, self._next_id - 1)
+            return {"events": selected, "cursor": resume, "dropped": dropped}

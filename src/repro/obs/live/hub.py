@@ -1,0 +1,277 @@
+"""The broker-facing coordinator for live observability.
+
+A :class:`LiveObsHub` owns the live registries and is the *only* thing
+:class:`~repro.broker.service.BrokerService` talks to — one
+``observe_terminal(session)`` call per finished session fans out to:
+
+* the :class:`~repro.obs.live.registry.SiteStatsRegistry` (ledger +
+  trace records),
+* the :class:`~repro.obs.live.slo.SLOTracker` (latency, shed/degraded
+  budgets),
+* the :class:`~repro.obs.live.qerror.QErrorObservatory` on
+  deterministically-sampled sessions (the purchased plan is re-executed
+  against lazily-materialized federation data), and
+* the :class:`~repro.obs.live.events.EventRing` behind ``GET /events``.
+
+The hub is entirely opt-in: when the broker runs without ``--live-obs``
+no hub exists and no live code is on the session path.  Q-error
+execution happens *after* the session's latency is stamped, so sampling
+never inflates reported session latency.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.live.events import DEFAULT_CAPACITY, EventRing
+from repro.obs.live.qerror import QErrorObservatory
+from repro.obs.live.registry import SiteStatsRegistry
+from repro.obs.live.slo import SLOConfig, SLOTracker
+
+__all__ = ["LiveObsConfig", "LiveObsHub"]
+
+
+@dataclass(frozen=True)
+class LiveObsConfig:
+    """Knobs for the live observability layer (``repro serve --live-obs``)."""
+
+    #: Run the q-error observatory on every Nth session (0 disables it).
+    qerror_sample_every: int = 4
+    #: Seed for materializing federation data for q-error execution —
+    #: use the world seed so observed rows match what sellers would ship.
+    data_seed: int = 7
+    #: `/events` ring capacity.
+    events_capacity: int = DEFAULT_CAPACITY
+    #: SLO budgets.
+    slo: SLOConfig = field(default_factory=SLOConfig)
+
+
+def _numeric_session_id(session_id: str) -> int:
+    digits = "".join(ch for ch in str(session_id) if ch.isdigit())
+    return int(digits) if digits else 0
+
+
+class LiveObsHub:
+    """Aggregates completed-session signals into the live registries."""
+
+    def __init__(self, world, config: LiveObsConfig | None = None):
+        self.config = config or LiveObsConfig()
+        self.world = world
+        self.registry = SiteStatsRegistry()
+        self.slo = SLOTracker(self.config.slo)
+        self.events = EventRing(self.config.events_capacity)
+        self.qerror = (
+            QErrorObservatory(self.config.qerror_sample_every)
+            if self.config.qerror_sample_every > 0
+            else None
+        )
+        self.qerror_failures = 0
+        self._data = None  # FederationData, materialized on first sample
+        self._data_lock = threading.Lock()
+
+    # -- ingest --------------------------------------------------------
+    def observe_submitted(self, session) -> None:
+        self.events.append(
+            "session.submitted",
+            session=session.session_id,
+            tenant=session.spec.tenant,
+        )
+
+    def observe_terminal(self, session) -> None:
+        """Fold one terminal session into every live registry."""
+        state = session.state
+        if state == "shed":
+            self.slo.observe_shed()
+            self.events.append(
+                "session.shed", session=session.session_id, error=session.error
+            )
+            return
+        latency = session.latency or 0.0
+        self.slo.observe_completion(
+            latency,
+            degraded=(state == "degraded"),
+            failed=(state == "failed"),
+        )
+        result = session.result
+        ledger = result.ledger if result is not None else None
+        records = getattr(session, "live_records", None)
+        self.registry.observe_session(ledger, records)
+        session.live_records = None  # the hub is the records' last stop
+        event = {
+            "session": session.session_id,
+            "state": state,
+            "latency_ms": round(latency * 1e3, 3),
+        }
+        if result is not None and result.found:
+            event["plan_cost"] = result.best.properties.total_time
+            event["sampled"] = self._maybe_observe_qerror(session)
+        self.events.append("session.terminal", **event)
+
+    def _maybe_observe_qerror(self, session) -> bool:
+        if self.qerror is None:
+            return False
+        if not self.qerror.should_sample(_numeric_session_id(session.session_id)):
+            return False
+        try:
+            data = self._federation_data()
+            self.qerror.observe_plan(
+                session.result.best.plan, data, session.spec.query
+            )
+        except Exception:  # a bad sample must never kill the broker
+            self.qerror_failures += 1
+            return False
+        return True
+
+    def _federation_data(self):
+        with self._data_lock:
+            if self._data is None:
+                from repro.execution.engine import FederationData
+
+                self._data = FederationData.build(
+                    self.world.catalog, seed=self.config.data_seed
+                )
+            return self._data
+
+    # -- read ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The deterministic live-obs state (sites + q-error)."""
+        out = {"sites": self.registry.snapshot()}
+        if self.qerror is not None:
+            out["qerror"] = self.qerror.snapshot()
+        return out
+
+    def sites_payload(self, worst: int = 5) -> dict:
+        """The ``GET /sites`` payload: snapshot plus ranked offenders."""
+        payload = self.snapshot()
+        payload["operational"] = self.registry.operational()
+        if self.qerror is not None:
+            payload["worst_estimators"] = self.qerror.worst_offenders(worst)
+            payload["qerror_failures"] = self.qerror_failures
+        return payload
+
+    def prom_families(self, builder) -> None:
+        """Contribute live-obs metric families to the Prometheus builder."""
+        from repro.obs.live.qerror import QERROR_BUCKETS
+        from repro.obs.live.sketch import QuantileSketch
+
+        sites = self.registry.snapshot()
+        builder.counter(
+            "live_sessions_observed",
+            "sessions folded into the live registries",
+            sites["sessions"],
+        )
+        builder.counter(
+            "live_rounds_observed",
+            "trading rounds folded into the live registries",
+            sites["rounds"],
+        )
+        builder.counter(
+            "live_rfb_fanout",
+            "RFB messages broadcast across observed sessions",
+            sites["rfb_fanout"],
+        )
+        builder.counter(
+            "live_rfb_responded",
+            "RFB deliveries answered with offers across observed sessions",
+            sites["rfb_responded"],
+        )
+        builder.gauge(
+            "live_rfb_response_ratio",
+            "responded / fanout across observed sessions",
+            sites["response_ratio"],
+        )
+        counters = (
+            ("wins", "offers this site won"),
+            ("losses", "offers this site lost at ranking"),
+            ("offers_priced", "offers this site priced"),
+            ("offers_received", "offers from this site the buyer received"),
+            ("rfbs_handled", "RFBs delivered to this site"),
+            ("rfbs_answered", "RFBs this site answered with offers"),
+        )
+        for site, stats in sites["sites"].items():
+            for key, help_text in counters:
+                builder.counter(f"site_{key}", help_text, stats[key], site=site)
+            builder.gauge(
+                "site_win_rate", "offer win rate", stats["win_rate"], site=site
+            )
+            builder.gauge(
+                "site_response_rate",
+                "RFB response rate",
+                stats["response_rate"],
+                site=site,
+            )
+            settled = QuantileSketch.from_dict(stats["settled"])
+            builder.gauge(
+                "site_settled_price_mean",
+                "mean settled (awarded) offer price",
+                round(settled.mean, 9),
+                site=site,
+            )
+            latency = QuantileSketch.from_dict(stats["latency"])
+            builder.gauge(
+                "site_offer_latency_p95_seconds",
+                "p95 offered total time, execute+ship (simulated seconds)",
+                latency.quantile(0.95),
+                site=site,
+            )
+        for site, extras in self.registry.operational().items():
+            builder.gauge(
+                "site_pricing_effort_mean_seconds",
+                "mean actual per-RFB pricing effort (cache-dependent)",
+                extras["effort_mean_s"],
+                site=site,
+            )
+        slo = self.slo.summary()
+        builder.gauge(
+            "slo_shed_ratio", "shed sessions / arrivals", slo["shed_ratio"]
+        )
+        builder.gauge(
+            "slo_shed_within_budget",
+            "1 when the shed ratio is within budget",
+            int(slo["shed_within_budget"]),
+        )
+        builder.gauge(
+            "slo_degraded_ratio",
+            "degraded completions / completions",
+            slo["degraded_ratio"],
+        )
+        builder.gauge(
+            "slo_degraded_within_budget",
+            "1 when the degraded ratio is within budget",
+            int(slo["degraded_within_budget"]),
+        )
+        for quantile in ("p50", "p99"):
+            builder.gauge(
+                "slo_latency_seconds",
+                "session latency quantiles in seconds",
+                slo[f"latency_{quantile}_s"],
+                quantile=quantile,
+            )
+        builder.gauge(
+            "slo_epoch", "index of the current SLO epoch", slo["epoch"]["epoch"]
+        )
+        if self.qerror is not None:
+            snap = self.qerror.snapshot()
+            builder.counter(
+                "qerror_sampled_sessions",
+                "sessions sampled by the q-error observatory",
+                snap["sampled_sessions"],
+            )
+            builder.counter(
+                "qerror_nodes_observed",
+                "plan nodes with observed cardinalities",
+                snap["nodes_observed"],
+            )
+            for key, cell in snap["cells"].items():
+                site, _, size = key.rpartition("|")
+                builder.histogram(
+                    "qerror",
+                    "observed-vs-estimated cardinality q-error per "
+                    "(site, relation-set-size)",
+                    QERROR_BUCKETS,
+                    cell["counts"],
+                    cell["sum"],
+                    site=site,
+                    relations=size,
+                )

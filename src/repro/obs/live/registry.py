@@ -1,0 +1,272 @@
+"""Per-site live statistics, aggregated from completed sessions.
+
+The :class:`SiteStatsRegistry` is the substrate both open ROADMAP items
+stand on: adaptive top-k RFB fanout needs learned per-site win rates,
+price distributions, and latency; mid-execution re-trading needs a live
+view of who is answering and at what price.  It consumes exactly what a
+finished broker session already carries:
+
+* the **decision ledger** for offer pricing, offered latency
+  (``total_time``: the seller's promised execute+ship time), intake,
+  awards, and settled prices;
+* the session's **trace records** for RFB accounting the ledger omits:
+  handled/answered counts from ``seller.compute`` spans and fanout
+  sizes from ``rfb.fanout`` span args.
+
+Only record *args* are read, never sim/wall timestamps, and every
+accumulator is an integer count or a :class:`~repro.obs.live.sketch.
+QuantileSketch` — so a registry built from any interleaving of the same
+sessions snapshots to identical bytes.  ``snapshot()``/
+``from_snapshot()`` round-trip exactly.
+
+One quantity is deliberately kept *out* of the snapshot: the
+``seller.compute`` spans' ``work`` argument (actual per-RFB pricing
+effort).  With the broker's *shared* cross-session offer cache, which
+session pays the pricing cost — full DP on a miss, a fraction on a hit
+— depends on completion interleaving, so ``work`` is not run-to-run
+deterministic under concurrency.  It is still aggregated (the
+:attr:`SiteStats.effort` sketch) and exposed on the operational
+surfaces (``GET /sites`` extras, Prometheus gauges), just never in the
+byte-identity snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Iterable, Mapping
+
+from repro.obs.ledger import NegotiationLedger
+from repro.obs.live.sketch import QuantileSketch
+from repro.obs.tracer import CAT_PARALLEL, TraceRecord
+
+__all__ = ["SiteStats", "SiteStatsRegistry", "SITE_STATS_SCHEMA_VERSION"]
+
+#: Bump when the snapshot shape changes.
+SITE_STATS_SCHEMA_VERSION = 1
+
+
+class SiteStats:
+    """One seller site's live accumulators."""
+
+    __slots__ = (
+        "wins",
+        "losses",
+        "offers_priced",
+        "offers_received",
+        "rfbs_handled",
+        "rfbs_answered",
+        "settled",
+        "valuation",
+        "latency",
+        "effort",
+    )
+
+    def __init__(self) -> None:
+        self.wins = 0            # awarded offers
+        self.losses = 0          # offers received by the buyer, not awarded
+        self.offers_priced = 0   # offers the seller priced (post-dedupe)
+        self.offers_received = 0  # survived the network back to the buyer
+        self.rfbs_handled = 0    # RFBs delivered to this seller
+        self.rfbs_answered = 0   # RFBs answered with at least one offer
+        self.settled = QuantileSketch()    # settled (Vickrey) prices
+        self.valuation = QuantileSketch()  # buyer valuations of its offers
+        self.latency = QuantileSketch()    # offered total time (sim s)
+        #: Actual per-RFB pricing effort (sim s) — cache-interleaving
+        #: dependent, so operational-only: excluded from to_dict().
+        self.effort = QuantileSketch()
+
+    @property
+    def win_rate(self) -> float:
+        decided = self.wins + self.losses
+        return self.wins / decided if decided else 0.0
+
+    @property
+    def response_rate(self) -> float:
+        return self.rfbs_answered / self.rfbs_handled if self.rfbs_handled else 0.0
+
+    def to_dict(self) -> dict:
+        # Deliberately excludes `effort` — see the module docstring.
+        return {
+            "wins": self.wins,
+            "losses": self.losses,
+            "win_rate": round(self.win_rate, 6),
+            "offers_priced": self.offers_priced,
+            "offers_received": self.offers_received,
+            "rfbs_handled": self.rfbs_handled,
+            "rfbs_answered": self.rfbs_answered,
+            "response_rate": round(self.response_rate, 6),
+            "settled": self.settled.to_dict(),
+            "valuation": self.valuation.to_dict(),
+            "latency": self.latency.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SiteStats":
+        stats = cls()
+        stats.wins = int(payload.get("wins", 0))
+        stats.losses = int(payload.get("losses", 0))
+        stats.offers_priced = int(payload.get("offers_priced", 0))
+        stats.offers_received = int(payload.get("offers_received", 0))
+        stats.rfbs_handled = int(payload.get("rfbs_handled", 0))
+        stats.rfbs_answered = int(payload.get("rfbs_answered", 0))
+        stats.settled = QuantileSketch.from_dict(payload.get("settled") or {})
+        stats.valuation = QuantileSketch.from_dict(payload.get("valuation") or {})
+        stats.latency = QuantileSketch.from_dict(payload.get("latency") or {})
+        return stats
+
+
+class SiteStatsRegistry:
+    """Thread-safe per-site aggregation over completed sessions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sites: dict[str, SiteStats] = {}
+        self.sessions = 0
+        self.rounds = 0
+        self.rfb_fanout = 0     # total RFB messages broadcast (fanout sum)
+        self.rfb_responded = 0  # sellers that answered, summed over rounds
+
+    def _site(self, name: str) -> SiteStats:
+        stats = self._sites.get(name)
+        if stats is None:
+            stats = self._sites[name] = SiteStats()
+        return stats
+
+    # -- ingest --------------------------------------------------------
+    def observe_session(
+        self,
+        ledger: NegotiationLedger | None,
+        records: Iterable[TraceRecord] | None = None,
+    ) -> None:
+        """Fold one completed session's ledger + trace into the registry.
+
+        Untraced sessions (``trace=false``) contribute nothing — the
+        ledger only exists when tracing was on, which is the broker's
+        default.
+        """
+        if ledger is None:
+            return
+        with self._lock:
+            self.sessions += 1
+            self.rounds += len(ledger.rounds)
+            for offer_id in sorted(ledger.offers):
+                node = ledger.offers[offer_id]
+                seller = node.get("seller")
+                if not seller:
+                    continue
+                stats = self._site(seller)
+                stats.offers_priced += 1
+                total_time = node.get("total_time")
+                if total_time is not None:
+                    stats.latency.add(float(total_time))
+                if node.get("received"):
+                    stats.offers_received += 1
+                    value = node.get("value")
+                    if value is not None:
+                        stats.valuation.add(float(value))
+                if node.get("awarded"):
+                    stats.wins += 1
+                    price = node.get("price")
+                    if price is None:
+                        price = node.get("money")
+                    if price is not None:
+                        stats.settled.add(float(price))
+                elif node.get("received"):
+                    stats.losses += 1
+            if records is not None:
+                self._observe_records(records)
+
+    def _observe_records(self, records: Iterable[TraceRecord]) -> None:
+        """Latency/fanout accounting from trace record *args* only."""
+        for record in records:
+            if record.cat == CAT_PARALLEL or record.kind != "span":
+                continue
+            args = record.args or {}
+            if record.name == "seller.compute" and record.site:
+                stats = self._site(record.site)
+                stats.rfbs_handled += 1
+                if args.get("offers"):
+                    stats.rfbs_answered += 1
+                stats.effort.add(float(args.get("work", 0.0)))
+            elif record.name == "rfb.fanout":
+                self.rfb_fanout += int(args.get("sellers", 0))
+            elif record.name == "protocol.solicit":
+                self.rfb_responded += int(args.get("responded", 0))
+
+    def merge(self, other: "SiteStatsRegistry") -> None:
+        """Fold *other* in (e.g. per-shard registries); order-free."""
+        with self._lock:
+            self.sessions += other.sessions
+            self.rounds += other.rounds
+            self.rfb_fanout += other.rfb_fanout
+            self.rfb_responded += other.rfb_responded
+            for name, theirs in other._sites.items():
+                mine = self._site(name)
+                mine.wins += theirs.wins
+                mine.losses += theirs.losses
+                mine.offers_priced += theirs.offers_priced
+                mine.offers_received += theirs.offers_received
+                mine.rfbs_handled += theirs.rfbs_handled
+                mine.rfbs_answered += theirs.rfbs_answered
+                mine.settled.merge(theirs.settled)
+                mine.valuation.merge(theirs.valuation)
+                mine.latency.merge(theirs.latency)
+                mine.effort.merge(theirs.effort)
+
+    # -- read ----------------------------------------------------------
+    def sites(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sites)
+
+    def get(self, site: str) -> SiteStats | None:
+        with self._lock:
+            return self._sites.get(site)
+
+    def snapshot(self) -> dict:
+        """Deterministic plain-data snapshot (sorted sites, sketch dicts)."""
+        with self._lock:
+            return {
+                "schema_version": SITE_STATS_SCHEMA_VERSION,
+                "sessions": self.sessions,
+                "rounds": self.rounds,
+                "rfb_fanout": self.rfb_fanout,
+                "rfb_responded": self.rfb_responded,
+                "response_ratio": round(
+                    self.rfb_responded / self.rfb_fanout, 6
+                )
+                if self.rfb_fanout
+                else 0.0,
+                "sites": {
+                    name: self._sites[name].to_dict()
+                    for name in sorted(self._sites)
+                },
+            }
+
+    def operational(self) -> dict:
+        """Cache-interleaving-dependent extras (actual pricing effort),
+        kept off the deterministic snapshot surface."""
+        with self._lock:
+            return {
+                name: {
+                    "effort_mean_s": round(self._sites[name].effort.mean, 9),
+                    "effort_p95_s": self._sites[name].effort.quantile(0.95),
+                }
+                for name in sorted(self._sites)
+            }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True)
+
+    @classmethod
+    def from_snapshot(cls, payload: Mapping) -> "SiteStatsRegistry":
+        """Restore a registry; ``restore(snapshot()).snapshot()`` is
+        byte-identical to the original."""
+        registry = cls()
+        registry.sessions = int(payload.get("sessions", 0))
+        registry.rounds = int(payload.get("rounds", 0))
+        registry.rfb_fanout = int(payload.get("rfb_fanout", 0))
+        registry.rfb_responded = int(payload.get("rfb_responded", 0))
+        for name, stats in (payload.get("sites") or {}).items():
+            registry._sites[name] = SiteStats.from_dict(stats)
+        return registry

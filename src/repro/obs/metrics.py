@@ -15,7 +15,7 @@ simulated-time and count data, which is what
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -55,7 +55,10 @@ class _Histogram:
             self.counts = [0] * (len(self.boundaries) + 1)
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_right(self.boundaries, value)] += 1
+        # bisect_left makes boundaries *inclusive* upper bounds, matching
+        # Prometheus `le` semantics: a value exactly on a boundary counts
+        # in that bucket, not the next one.
+        self.counts[bisect_left(self.boundaries, value)] += 1
         self.count += 1
         self.sum += value
 

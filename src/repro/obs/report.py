@@ -109,6 +109,8 @@ def summarize(rows: Sequence[dict], top: int = 8) -> dict[str, Any]:
     cache: dict[str, dict[str, int]] = {}
     farm: dict[str, int] = {}
     partitions: list[dict] = []
+    live_sites: dict[str, dict] = {}
+    live_qerror: dict[str, list[dict]] = {}
     pending_max = None
     sim_span = 0.0
 
@@ -150,6 +152,14 @@ def summarize(rows: Sequence[dict], top: int = 8) -> dict[str, Any]:
         elif row["name"] == "farm.serial_fallback" or row["name"] == "farm.serial_round":
             reason = str(row["args"].get("reason", "?"))
             farm[reason] = farm.get(reason, 0) + 1
+        elif row["name"] == "live.site":
+            # Registry rows written by `repro sites --trace-out`: one per
+            # site, args carry the precomputed headline scalars.
+            live_sites[row["site"] or "?"] = dict(row["args"])
+        elif row["name"] == "live.qerror":
+            live_qerror.setdefault(row["site"] or "?", []).append(
+                dict(row["args"])
+            )
         elif row["name"] == "buyer.level_partition":
             args = row["args"]
             partitions.append({
@@ -171,6 +181,8 @@ def summarize(rows: Sequence[dict], top: int = 8) -> dict[str, Any]:
         "cache": cache,
         "farm": farm,
         "partitions": partitions,
+        "live_sites": live_sites,
+        "live_qerror": live_qerror,
         "pending_max": pending_max,
     }
 
@@ -309,6 +321,41 @@ def render_report(rows: Sequence[dict], top: int = 8) -> str:
                     if p["imbalance"] is not None else "-",
                 ]
                 for p in summary["partitions"]
+            ],
+        ))
+
+    live_sites = summary["live_sites"]
+    if live_sites:
+        live_qerror = summary["live_qerror"]
+
+        def _fmt(value, spec=".4g"):
+            return format(value, spec) if isinstance(value, (int, float)) else "-"
+
+        def _worst_p90(site: str):
+            cells = [
+                c.get("p90")
+                for c in live_qerror.get(site, [])
+                if isinstance(c.get("p90"), (int, float))
+            ]
+            return max(cells) if cells else None
+
+        out.append("")
+        out.append("live per-site statistics (broker live-obs registry):")
+        out.append(_table(
+            ["site", "wins", "losses", "win rate", "mean settled",
+             "p95 offer latency", "q-error p90"],
+            [
+                [
+                    site,
+                    stats.get("wins", 0),
+                    stats.get("losses", 0),
+                    f"{stats['win_rate']:.1%}"
+                    if isinstance(stats.get("win_rate"), (int, float)) else "-",
+                    _fmt(stats.get("settled_mean")),
+                    _fmt(stats.get("latency_p95")),
+                    _fmt(_worst_p90(site)),
+                ]
+                for site, stats in sorted(live_sites.items())
             ],
         ))
 

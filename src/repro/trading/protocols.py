@@ -74,6 +74,10 @@ class SolicitResult:
     finished_at: float
     timeouts_fired: int = 0
     retries: int = 0
+    #: Distinct sellers that answered with at least one offer — the
+    #: response side of the RFB fanout/response ratio the live per-site
+    #: registry aggregates.
+    responded: int = 0
 
     @property
     def elapsed(self) -> float:
@@ -262,6 +266,7 @@ class BiddingProtocol(NegotiationProtocol):
                 offers=len(result.offers),
                 timeouts=result.timeouts_fired,
                 retries=result.retries,
+                responded=result.responded,
             )
             return result
 
@@ -410,6 +415,7 @@ class BiddingProtocol(NegotiationProtocol):
             finished_at=network.now,
             timeouts_fired=state["timeouts"],
             retries=state["retries"],
+            responded=len(responded),
         )
 
     @staticmethod
@@ -513,6 +519,7 @@ class BargainingProtocol(NegotiationProtocol):
                 offers=len(result.offers),
                 timeouts=result.timeouts_fired,
                 retries=result.retries,
+                responded=result.responded,
             )
             return result
 

@@ -1,0 +1,442 @@
+"""Live serving observability: sketches, registries, q-error, Prometheus.
+
+The determinism contract under test: with live observability enabled,
+the SiteStatsRegistry and q-error snapshots are byte-identical across
+repeated same-seed broker runs and across the Simulator vs AsyncClock,
+at the default worker count — session completion interleaving must not
+leak into the deterministic surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.broker import BrokerService, Router
+from repro.obs.live import (
+    EventRing,
+    LiveObsConfig,
+    PromParseError,
+    QErrorObservatory,
+    QuantileSketch,
+    SiteStatsRegistry,
+    SLOConfig,
+    SLOTracker,
+    parse_prometheus_text,
+)
+from repro.obs.live.qerror import qerror
+from repro.workload import BurstConfig, build_bursty_workload
+
+WORLD = dict(nodes=4, n_relations=3, rows=1_000, fragments=2, replicas=1, seed=7)
+
+
+def _arrivals():
+    return build_bursty_workload(BurstConfig(
+        tenants=2, bursts=2, burst_size=3, available_relations=3, seed=11
+    ))
+
+
+def _run_broker(clock: str) -> tuple[str, BrokerService]:
+    """One drained live-obs broker run; returns (snapshot json, service).
+
+    The caller owns closing the service.
+    """
+    service = BrokerService(
+        world_config=WORLD,
+        clock=clock,
+        live_obs=LiveObsConfig(qerror_sample_every=2),
+    )
+    for arrival in _arrivals():
+        service.submit(service.parse_spec(
+            {"sql": arrival.query.sql(), "tenant": arrival.tenant}
+        ))
+    assert service.drain(timeout=120.0)
+    return json.dumps(service.live.snapshot(), sort_keys=True), service
+
+
+@pytest.fixture(scope="module")
+def broker_runs():
+    """Snapshots of two sim runs and one async run, plus a live service."""
+    snap_sim_a, service_a = _run_broker("sim")
+    service_a.close()
+    snap_sim_b, service_b = _run_broker("sim")
+    service_b.close()
+    snap_async, service = _run_broker("async")
+    yield {"sim_a": snap_sim_a, "sim_b": snap_sim_b, "async": snap_async,
+           "service": service}
+    service.close()
+
+
+# ----------------------------------------------------------------------
+class TestQuantileSketch:
+    def test_order_independent_bytes(self):
+        values = [0.003, 1.7, 0.5, 0.003, 42.0, 1e-12, 0.25, 7.5]
+        forward, backward = QuantileSketch(), QuantileSketch()
+        for v in values:
+            forward.add(v)
+        for v in reversed(values):
+            backward.add(v)
+        assert json.dumps(forward.to_dict()) == json.dumps(backward.to_dict())
+
+    def test_merge_determinism_and_associativity(self):
+        # Merging per-shard sketches in any order yields the same bytes
+        # as one sketch fed everything.
+        shards = [[0.01, 0.02], [5.0, 0.5, 0.01], [100.0]]
+        combined = QuantileSketch()
+        for shard in shards:
+            for v in shard:
+                combined.add(v)
+        ab_then_c, c_then_ab = QuantileSketch(), QuantileSketch()
+        parts = []
+        for shard in shards:
+            sketch = QuantileSketch()
+            for v in shard:
+                sketch.add(v)
+            parts.append(sketch)
+        ab_then_c.merge(parts[0]); ab_then_c.merge(parts[1]); ab_then_c.merge(parts[2])
+        c_then_ab.merge(parts[2]); c_then_ab.merge(parts[0]); c_then_ab.merge(parts[1])
+        expected = json.dumps(combined.to_dict())
+        assert json.dumps(ab_then_c.to_dict()) == expected
+        assert json.dumps(c_then_ab.to_dict()) == expected
+
+    def test_quantile_relative_error(self):
+        sketch = QuantileSketch()
+        for i in range(1, 101):
+            sketch.add(i / 10.0)
+        median = sketch.quantile(0.5)
+        assert median == pytest.approx(5.0, rel=0.06)  # GAMMA - 1 = 5%
+        assert sketch.quantile(1.0) == pytest.approx(10.0, rel=0.06)
+
+    def test_exact_integer_sum_and_stats(self):
+        sketch = QuantileSketch()
+        for _ in range(10):
+            sketch.add(0.1)  # float-sum would drift; integer units do not
+        assert sketch.sum == 1.0
+        assert sketch.mean == 0.1
+        assert sketch.min == 0.1 and sketch.max == 0.1
+
+    def test_negative_values_clamp_to_zero(self):
+        sketch = QuantileSketch()
+        sketch.add(-5.0)
+        assert sketch.count == 1
+        assert sketch.min == 0.0
+        assert sketch.quantile(0.5) <= 1e-9
+
+    def test_roundtrip_is_byte_identical(self):
+        sketch = QuantileSketch()
+        for v in (0.001, 2.5, 17.0, 0.33):
+            sketch.add(v)
+        restored = QuantileSketch.from_dict(sketch.to_dict())
+        assert json.dumps(restored.to_dict(), sort_keys=True) == json.dumps(
+            sketch.to_dict(), sort_keys=True
+        )
+
+    def test_empty_sketch(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.mean == 0.0
+        restored = QuantileSketch.from_dict(sketch.to_dict())
+        assert restored.count == 0
+
+
+# ----------------------------------------------------------------------
+class TestRegistryDeterminism:
+    def test_same_seed_runs_byte_identical(self, broker_runs):
+        assert broker_runs["sim_a"] == broker_runs["sim_b"]
+
+    def test_sim_vs_async_byte_identical(self, broker_runs):
+        assert broker_runs["sim_a"] == broker_runs["async"]
+
+    def test_snapshot_restore_roundtrip(self, broker_runs):
+        service = broker_runs["service"]
+        snapshot = service.live.registry.snapshot()
+        restored = SiteStatsRegistry.from_snapshot(snapshot)
+        assert json.dumps(restored.snapshot(), sort_keys=True) == json.dumps(
+            snapshot, sort_keys=True
+        )
+
+    def test_registry_observes_all_sessions(self, broker_runs):
+        snapshot = json.loads(broker_runs["sim_a"])
+        sites = snapshot["sites"]
+        assert sites["sessions"] == len(_arrivals())
+        assert sites["rounds"] > 0
+        assert sites["rfb_fanout"] > 0
+        assert 0.0 < sites["response_ratio"] <= 1.0
+        # Per-site invariants: a win implies a received offer, and
+        # decided offers cannot exceed received ones.
+        for stats in sites["sites"].values():
+            assert stats["wins"] + stats["losses"] <= stats["offers_received"]
+            assert stats["offers_received"] <= stats["offers_priced"]
+            assert stats["settled"]["count"] == stats["wins"]
+
+    def test_effort_is_off_the_snapshot_surface(self, broker_runs):
+        # Actual pricing effort is cache-interleaving dependent, so it
+        # must only appear on the operational surface.
+        snapshot = json.loads(broker_runs["sim_a"])
+        for stats in snapshot["sites"]["sites"].values():
+            assert "effort" not in stats
+        operational = broker_runs["service"].live.registry.operational()
+        assert all("effort_mean_s" in v for v in operational.values())
+
+    def test_merge_is_order_free(self):
+        def build(values):
+            registry = SiteStatsRegistry()
+            registry.sessions = 1
+            stats = registry._site("node0")
+            for v in values:
+                stats.settled.add(v)
+                stats.wins += 1
+            return registry
+
+        a, b = build([0.5, 1.5]), build([2.5])
+        ab, ba = SiteStatsRegistry(), SiteStatsRegistry()
+        ab.merge(a); ab.merge(b)
+        ba.merge(b); ba.merge(a)
+        assert ab.to_json() == ba.to_json()
+
+
+# ----------------------------------------------------------------------
+class TestQErrorObservatory:
+    def test_qerror_definition(self):
+        assert qerror(10, 100) == 10.0
+        assert qerror(100, 10) == 10.0
+        assert qerror(5, 5) == 1.0
+        assert qerror(0, 0) == 1.0   # both empty: perfect estimate
+        assert qerror(0, 50) > 1.0   # estimated empty, observed rows
+
+    def test_sampling_is_deterministic(self):
+        observatory = QErrorObservatory(sample_every=3)
+        picks = [observatory.should_sample(i) for i in range(9)]
+        assert picks == [observatory.should_sample(i) for i in range(9)]
+        assert sum(picks) == 3
+
+    def test_qerror_snapshot_deterministic_across_runs(self, broker_runs):
+        qerr_a = json.loads(broker_runs["sim_a"])["qerror"]
+        qerr_async = json.loads(broker_runs["async"])["qerror"]
+        assert qerr_a == qerr_async
+        assert qerr_a["sampled_sessions"] > 0
+        assert qerr_a["nodes_observed"] > 0
+        assert qerr_a["cells"]
+
+    def test_cells_and_worst_offenders(self, broker_runs):
+        observatory = broker_runs["service"].live.qerror
+        snapshot = observatory.snapshot()
+        for key, cell in snapshot["cells"].items():
+            site, _, size = key.rpartition("|")
+            assert site and size.isdigit()
+            assert cell["count"] >= 1
+            assert cell["p90"] >= cell["p50"] >= 1.0 or cell["p50"] >= 1.0
+        offenders = observatory.worst_offenders(3)
+        assert offenders
+        p90s = [entry["p90"] for entry in offenders]
+        assert p90s == sorted(p90s, reverse=True)
+
+    def test_observatory_restore_roundtrip(self, broker_runs):
+        observatory = broker_runs["service"].live.qerror
+        snapshot = observatory.snapshot()
+        restored = QErrorObservatory.from_snapshot(snapshot)
+        assert json.dumps(restored.snapshot(), sort_keys=True) == json.dumps(
+            snapshot, sort_keys=True
+        )
+
+
+# ----------------------------------------------------------------------
+class TestPrometheusExposition:
+    def test_prom_payload_parses_and_has_required_series(self, broker_runs):
+        text = broker_runs["service"].prom_payload()
+        snap = parse_prometheus_text(text)
+        for family in (
+            "repro_broker_uptime_seconds",
+            "repro_broker_admitted_total",
+            "repro_broker_session_states",
+            "repro_live_sessions_observed_total",
+            "repro_slo_shed_ratio",
+            "repro_qerror_bucket",
+        ):
+            assert any(name == family for name, _ in snap.samples), family
+        # Histogram series must carry the implicit +Inf bucket.
+        assert any(
+            name == "repro_qerror_bucket"
+            and dict(labels).get("le") == "+Inf"
+            for name, labels in snap.samples
+        )
+
+    def test_prom_agrees_with_json_rollup(self, broker_runs):
+        service = broker_runs["service"]
+        payload = service.metrics_payload()
+        snap = parse_prometheus_text(service.prom_payload())
+        assert snap.value("repro_broker_admitted_total") == payload[
+            "admitted_total"
+        ]
+        assert snap.value("repro_broker_shed_total") == payload["shed_total"]
+        assert snap.value("repro_broker_completed_total") == payload[
+            "completed_total"
+        ]
+        assert snap.value("repro_broker_sessions_active") == payload[
+            "active_sessions"
+        ]
+        for state, count in payload["states"].items():
+            assert snap.value(
+                "repro_broker_session_states", state=state
+            ) == count, state
+        for quantile in ("p50", "p99"):
+            assert snap.value(
+                "repro_broker_latency_quantile_ms", quantile=quantile
+            ) == payload["latency_ms"][quantile]
+        info = snap.series("repro_broker_info")
+        assert [dict(k)["clock"] for k in info] == [payload["clock"]]
+
+    def test_json_rollup_shape(self, broker_runs):
+        payload = broker_runs["service"].metrics_payload()
+        assert payload["uptime_s"] > 0
+        assert payload["clock"] == "async"
+        assert set(payload["states"]) == {
+            "active", "queued", "shed", "completed", "degraded", "failed"
+        }
+        assert payload["states"]["active"] == 0  # drained
+        assert payload["states"]["completed"] + payload["states"][
+            "degraded"
+        ] == len(_arrivals())
+        assert payload["slo"]["completed"] == len(_arrivals())
+
+    def test_parser_rejects_malformed_text(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus_text("# TYPE x bogus\nx 1\n")
+        with pytest.raises(PromParseError):  # sample without a family
+            parse_prometheus_text("orphan_metric 1\n")
+        with pytest.raises(PromParseError):  # duplicate series
+            parse_prometheus_text(
+                "# TYPE dup counter\ndup_total 1\ndup_total 2\n"
+            )
+        with pytest.raises(PromParseError):  # non-cumulative buckets
+            parse_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+                'h_bucket{le="+Inf"} 5\nh_sum 2\nh_count 5\n'
+            )
+        with pytest.raises(PromParseError):  # missing +Inf bucket
+            parse_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_sum 2\nh_count 5\n'
+            )
+
+    def test_counter_monotonicity_across_scrapes(self, broker_runs):
+        service = broker_runs["service"]
+        first = parse_prometheus_text(service.prom_payload())
+        second = parse_prometheus_text(service.prom_payload())
+        for (name, labels), value in first.samples.items():
+            if name.endswith("_total") or name.endswith(("_count", "_sum")):
+                later = second.samples.get((name, labels))
+                assert later is not None and later >= value, (name, labels)
+
+
+# ----------------------------------------------------------------------
+class TestEventRing:
+    def test_cursor_paging(self):
+        ring = EventRing(capacity=10)
+        for i in range(5):
+            ring.append("tick", n=i)
+        page = ring.since(0, limit=3)
+        assert [e["id"] for e in page["events"]] == [1, 2, 3]
+        assert page["cursor"] == 3 and page["dropped"] == 0
+        rest = ring.since(page["cursor"])
+        assert [e["id"] for e in rest["events"]] == [4, 5]
+        assert ring.since(rest["cursor"])["events"] == []
+
+    def test_dropped_accounting_on_overflow(self):
+        ring = EventRing(capacity=3)
+        for i in range(10):
+            ring.append("tick", n=i)
+        page = ring.since(0)
+        assert [e["id"] for e in page["events"]] == [8, 9, 10]
+        assert page["dropped"] == 7
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventRing(capacity=0)
+
+
+# ----------------------------------------------------------------------
+class TestSLOTracker:
+    def test_budgets_and_epoch_roll(self):
+        tracker = SLOTracker(SLOConfig(
+            shed_budget=0.5, degraded_budget=0.5, epoch_sessions=4
+        ))
+        for _ in range(3):
+            tracker.observe_completion(0.010)
+        tracker.observe_shed()  # rolls the first epoch
+        tracker.observe_completion(0.020, degraded=True)
+        summary = tracker.summary()
+        assert summary["completed"] == 4 and summary["shed"] == 1
+        assert summary["shed_within_budget"]
+        assert summary["degraded_within_budget"]
+        assert summary["latency_p50_s"] > 0
+        assert summary["last_epoch"]["sessions"] == 4
+        assert summary["epoch"]["epoch"] == 1
+        assert summary["epoch"]["completed"] == 1
+
+    def test_budget_breach_flags(self):
+        tracker = SLOTracker(SLOConfig(shed_budget=0.01))
+        tracker.observe_completion(0.01)
+        tracker.observe_shed()
+        assert not tracker.summary()["shed_within_budget"]
+
+
+# ----------------------------------------------------------------------
+class TestRouterEndpoints:
+    def test_prom_endpoint_returns_text(self, broker_runs):
+        router = Router(broker_runs["service"])
+        status, payload = router.dispatch("GET", "/metrics/prom")
+        assert status == 200 and isinstance(payload, str)
+        parse_prometheus_text(payload)
+
+    def test_sites_endpoint_payload(self, broker_runs):
+        router = Router(broker_runs["service"])
+        status, payload = router.dispatch("GET", "/sites")
+        assert status == 200
+        assert payload["sites"]["sessions"] == len(_arrivals())
+        assert payload["worst_estimators"]
+        assert payload["qerror_failures"] == 0
+        assert payload["operational"]
+
+    def test_events_endpoint_paging_and_validation(self, broker_runs):
+        router = Router(broker_runs["service"])
+        status, page = router.dispatch("GET", "/events?since=0&limit=4")
+        assert status == 200 and len(page["events"]) == 4
+        status, follow = router.dispatch(
+            "GET", f"/events?since={page['cursor']}"
+        )
+        assert status == 200
+        assert all(e["id"] > page["cursor"] for e in follow["events"])
+        status, error = router.dispatch("GET", "/events?since=banana")
+        assert status == 400 and "since" in error["error"]
+
+    def test_live_endpoints_404_when_disabled(self):
+        service = BrokerService(world_config=WORLD, clock="sim")
+        try:
+            router = Router(service)
+            for path in ("/sites", "/events"):
+                status, payload = router.dispatch("GET", path)
+                assert status == 404
+                assert "--live-obs" in payload["error"]
+            # /metrics/prom stays available — broker families only.
+            status, text = router.dispatch("GET", "/metrics/prom")
+            assert status == 200
+            snap = parse_prometheus_text(text)
+            assert snap.value("repro_broker_admitted_total") == 0
+            assert not snap.series("repro_live_sessions_observed_total")
+        finally:
+            service.close()
+
+    def test_drain_is_a_live_obs_barrier(self, broker_runs):
+        # A returned drain() means every terminal session is already
+        # folded in: the event ring has one submitted + one terminal
+        # event per session.
+        service = broker_runs["service"]
+        events = service.live.events.since(0)["events"]
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("session.submitted") == len(_arrivals())
+        assert kinds.count("session.terminal") == len(_arrivals())
+        sampled = [e for e in kinds if e == "session.terminal"]
+        assert sampled

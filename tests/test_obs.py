@@ -311,6 +311,65 @@ def test_metrics_registry_basics():
     assert list(out["counters"]["hits"]) == ["site=a", "site=b"]  # sorted
 
 
+def test_histogram_boundary_values_are_le_inclusive():
+    # Prometheus `le` semantics: a value exactly on a bucket boundary
+    # belongs to that bucket, not the next one.
+    registry = MetricsRegistry()
+    registry.observe("x", 0.1, boundaries=(0.1, 1.0))
+    hist = registry.histogram("x")
+    assert hist.counts == [1, 0, 0]
+    registry.observe("x", 1.0, boundaries=(0.1, 1.0))
+    assert hist.counts == [1, 1, 0]
+
+
+def test_histogram_plus_inf_bucket_accounting():
+    registry = MetricsRegistry()
+    boundaries = (0.5, 2.0)
+    for value in (0.1, 1.0, 100.0, 2.0000001):
+        registry.observe("x", value, boundaries=boundaries)
+    hist = registry.histogram("x")
+    assert hist.counts == [1, 1, 2]  # two beyond the last boundary
+    assert hist.count == sum(hist.counts)
+    assert hist.sum == pytest.approx(103.1000001)
+    dumped = hist.to_dict()
+    assert len(dumped["counts"]) == len(dumped["boundaries"]) + 1
+
+
+def test_histogram_label_order_is_canonical():
+    # The same label set in any keyword order is one series, and
+    # rendered rows sort keys alphabetically.
+    registry = MetricsRegistry()
+    registry.observe("x", 0.1, site="a", phase="p")
+    registry.observe("x", 0.2, phase="p", site="a")
+    assert registry.histogram("x", phase="p", site="a").count == 2
+    out = registry.to_dict()
+    assert list(out["histograms"]["x"]) == ["phase=p,site=a"]
+
+
+def test_bench_envelope_tolerates_no_git(monkeypatch):
+    import subprocess as subprocess_module
+
+    from repro.obs import history as history_module
+
+    def no_git(*args, **kwargs):
+        raise FileNotFoundError("git not installed")
+
+    monkeypatch.setattr(history_module.subprocess, "run", no_git)
+    monkeypatch.delenv("GITHUB_SHA", raising=False)
+    envelope = history_module.run_envelope()
+    assert envelope["git_sha"] is None  # null, not an exception
+    # The CI fallback still wins when the environment provides it.
+    monkeypatch.setenv("GITHUB_SHA", "abcdef1234567890")
+    assert history_module.run_envelope()["git_sha"] == "abcdef123456"
+    # A subprocess-layer failure (e.g. timeout) degrades the same way.
+    def hangs(*args, **kwargs):
+        raise subprocess_module.TimeoutExpired(cmd="git", timeout=5)
+
+    monkeypatch.setattr(history_module.subprocess, "run", hangs)
+    monkeypatch.delenv("GITHUB_SHA", raising=False)
+    assert history_module.run_envelope()["git_sha"] is None
+
+
 # ----------------------------------------------------------------------
 # Exporters and report
 # ----------------------------------------------------------------------
