@@ -20,11 +20,20 @@ purchased plans against materialized data, which is deliberately
 *sampled* background work, so its cost is reported separately
 (``live_qerror_overhead``, ungated) rather than hidden in the gate.
 
+Also prices the causal-tracing layer (PR 10): the same faulty
+negotiation (drops, duplicates, round deadlines — the configuration
+with the most causal-id stamping on the hot path) runs with no tracer
+vs a disabled tracer.  ``causal_overhead`` is that fractional cost and
+shares the <5% disabled-instrumentation gate; the analysis-side costs
+(building the causal DAG and replaying the critical path from an
+enabled trace) are reported ungated.
+
 Writes ``BENCH_obs.json`` at the repository root and enforces the
 documented contracts: the *null* mode — tracing compiled in but
-switched off — costs less than 5% over *disabled*, and live-obs-on
-costs less than 10% over live-obs-off (per-mode minimum over repeats
-to shave scheduler noise).
+switched off — costs less than 5% over *disabled* (the plain and the
+causal/faulty measurements both), and live-obs-on costs less than 10%
+over live-obs-off (per-mode minimum over repeats to shave scheduler
+noise).
 
 Run with::
 
@@ -125,6 +134,72 @@ def broker_drain(arrivals, live_obs=None) -> float:
     return elapsed
 
 
+def causal_case(repeats: int) -> dict:
+    """Price the causal-tracing layer on its busiest code path.
+
+    Fault injection exercises every new stamping site at once — message
+    mids on sends, per-delivery latencies, fault verdicts, timeout ids,
+    retry re-issues — so a faulty negotiation is where a disabled
+    tracer would show causal-stamping overhead if it had any.  Also
+    times the offline analyses an *enabled* trace pays for: building
+    the :class:`~repro.obs.causal.CausalDag` and replaying the
+    :class:`~repro.obs.critpath.CriticalPath` (which the replay itself
+    cross-checks: phases must tile the session's simulated time).
+    """
+    from repro.bench.harness import run_qt_faulty
+    from repro.faults import FaultPlan
+    from repro.obs import CausalDag, CriticalPath
+
+    joins, nodes = 3, 8
+    plan = FaultPlan.uniform(
+        drop_rate=0.10, duplicate_rate=0.05, seed=11
+    )
+
+    def faulty_run(tracer: Tracer | None) -> float:
+        commodity._offer_ids = itertools.count(1)
+        world = build_world(nodes=nodes, n_relations=max(joins, 3), seed=7)
+        query = chain_query(joins)
+        start = time.perf_counter()
+        measurement = run_qt_faulty(world, query, plan, tracer=tracer)
+        elapsed = time.perf_counter() - start
+        assert measurement.found, "faulty benchmark trade must find a plan"
+        if tracer is not None:
+            tracer.reset()
+        return elapsed
+
+    faulty_run(None)  # warm caches / imports
+    disabled = [faulty_run(None) for _ in range(repeats)]
+    null = [faulty_run(Tracer(enabled=False)) for _ in range(repeats)]
+    causal_overhead = min(null) / min(disabled) - 1.0
+
+    # Analysis-side costs from one enabled trace (ungated).
+    commodity._offer_ids = itertools.count(1)
+    world = build_world(nodes=nodes, n_relations=max(joins, 3), seed=7)
+    tracer = Tracer()
+    run_qt_faulty(world, chain_query(joins), plan, tracer=tracer)
+    records = list(tracer.records)
+    start = time.perf_counter()
+    dag = CausalDag.from_records(records)
+    dag_s = time.perf_counter() - start
+    start = time.perf_counter()
+    critical = CriticalPath.from_records(records)
+    critpath_s = time.perf_counter() - start
+    assert critical is not None, "faulty trace must yield a critical path"
+    assert critical.reconciles(), "critical-path phases must tile the run"
+    return {
+        "joins": joins,
+        "nodes": nodes,
+        "repeats": repeats,
+        "disabled_min_s": round(min(disabled), 6),
+        "null_min_s": round(min(null), 6),
+        "causal_overhead": round(causal_overhead, 4),
+        "trace_records": len(records),
+        "dag_nodes": len(dag.nodes),
+        "dag_build_s": round(dag_s, 6),
+        "critpath_replay_s": round(critpath_s, 6),
+    }
+
+
 def live_obs_case(repeats: int) -> dict:
     """Broker throughput with live observability off vs on.
 
@@ -200,6 +275,17 @@ def main() -> None:
             f"{modes['enabled']['records']} records)"
         )
 
+    causal = causal_case(repeats)
+    print(
+        f"causal tracing (faulty, joins={causal['joins']} "
+        f"nodes={causal['nodes']}): disabled {causal['disabled_min_s']:.4f}s, "
+        f"null {causal['null_min_s']:.4f}s "
+        f"({causal['causal_overhead']:+.1%}); analysis: dag "
+        f"{causal['dag_build_s']:.4f}s, critical path "
+        f"{causal['critpath_replay_s']:.4f}s over "
+        f"{causal['trace_records']} records"
+    )
+
     live = live_obs_case(repeats=3 if args.quick else 5)
     print(
         f"broker live-obs ({live['sessions']} sessions): off "
@@ -215,8 +301,10 @@ def main() -> None:
         **envelope,
         "benchmark": "observability overhead (disabled / null / enabled)",
         "gate_null_overhead_lt": OVERHEAD_GATE,
+        "gate_causal_overhead_lt": OVERHEAD_GATE,
         "gate_live_overhead_lt": LIVE_GATE,
         "cases": results,
+        "causal": causal,
         "live_obs": live,
     }
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
@@ -225,6 +313,7 @@ def main() -> None:
         "obs_overhead",
         {
             "worst_null_overhead": worst,
+            "causal_overhead": causal["causal_overhead"],
             "live_overhead": live["live_overhead"],
             "live_qerror_overhead": live["live_qerror_overhead"],
         },
@@ -238,6 +327,13 @@ def main() -> None:
     )
     print(f"gate ok: worst null-tracer overhead {worst:+.1%} < "
           f"{OVERHEAD_GATE:.0%}")
+    assert causal["causal_overhead"] < OVERHEAD_GATE, (
+        f"causal-stamping disabled-tracer overhead "
+        f"{causal['causal_overhead']:.1%} breaches the "
+        f"{OVERHEAD_GATE:.0%} gate"
+    )
+    print(f"gate ok: causal disabled-tracer overhead "
+          f"{causal['causal_overhead']:+.1%} < {OVERHEAD_GATE:.0%}")
     assert live["live_overhead"] < LIVE_GATE, (
         f"live-obs overhead {live['live_overhead']:.1%} breaches the "
         f"{LIVE_GATE:.0%} gate"

@@ -63,6 +63,39 @@ def _pinpoint(world, query, mode) -> str:
     return diff_records(tracer_a.records, tracer_b.records).render()
 
 
+def test_zero_fault_causal_byte_identity():
+    """A null fault plan is invisible to the causal layer too.
+
+    The injector path computes each copy's transit delay and the
+    network stamps it verbatim as the delivery's ``lat``, so a clean
+    link produces the exact ``message_delay`` bits the fault-free path
+    stamps — the causal DAG and critical-path decomposition are
+    byte-identical, and both replays reconcile exactly.
+    """
+    from repro.obs import CausalDag, CriticalPath, Tracer
+
+    nodes, n_relations, fragments, replicas, joins, mode = CONFIGS[0]
+    world = build_world(
+        nodes=nodes, n_relations=n_relations, fragments=fragments,
+        replicas=replicas, seed=7,
+    )
+    query = chain_query(joins, selection_cat=3)
+    tracer_plain, tracer_null = Tracer(), Tracer()
+    plain = _measure(world, query, mode, faulty=False, tracer=tracer_plain)
+    nulled = _measure(world, query, mode, faulty=True, tracer=tracer_null)
+    assert plain == nulled
+    dag_plain = CausalDag.from_records(tracer_plain.records)
+    dag_null = CausalDag.from_records(tracer_null.records)
+    assert dag_plain.to_json() == dag_null.to_json(), _pinpoint(
+        world, query, mode
+    )
+    crit_plain = CriticalPath.from_records(tracer_plain.records)
+    crit_null = CriticalPath.from_records(tracer_null.records)
+    assert crit_plain.to_json() == crit_null.to_json()
+    assert crit_plain.reconciles() and crit_null.reconciles()
+    assert crit_plain.total == plain[2]  # == optimization_time
+
+
 def test_zero_fault_equivalence_sweep():
     for nodes, n_relations, fragments, replicas, joins, mode in CONFIGS:
         world = build_world(

@@ -187,6 +187,19 @@ def test_twelve_join_full_trade_byte_identical():
     lines_serial = list(jsonl_lines(tracer_serial.records))
     lines_parallel = list(jsonl_lines(tracer_parallel.records))
     assert lines_serial == lines_parallel, _pinpoint(run)
+    # The causal layer inherits the contract: identical DAG and
+    # critical-path decomposition bytes, and the replayed critical path
+    # reproduces the simulated optimization time exactly.
+    from repro.obs import CausalDag, CriticalPath
+
+    dag_serial = CausalDag.from_records(tracer_serial.records)
+    dag_parallel = CausalDag.from_records(tracer_parallel.records)
+    assert dag_serial.to_json() == dag_parallel.to_json(), _pinpoint(run)
+    crit_serial = CriticalPath.from_records(tracer_serial.records)
+    crit_parallel = CriticalPath.from_records(tracer_parallel.records)
+    assert crit_serial.to_json() == crit_parallel.to_json(), _pinpoint(run)
+    assert crit_serial.reconciles()
+    assert crit_serial.total == serial["optimization_time"]
 
 
 def test_faulty_parallel_equivalence():
@@ -201,8 +214,11 @@ def test_faulty_parallel_equivalence():
         )
         return _signature(measurement, FAULT_FIELDS)
 
-    serial = run(1)
-    parallel = run(4)
+    from repro.obs import CausalDag, CriticalPath, Tracer
+
+    tracer_serial, tracer_parallel = Tracer(), Tracer()
+    serial = run(1, tracer=tracer_serial)
+    parallel = run(4, tracer=tracer_parallel)
     assert serial == parallel, str({
         k: (serial[k], parallel[k])
         for k in serial
@@ -210,3 +226,14 @@ def test_faulty_parallel_equivalence():
     }) + "\n" + _pinpoint(run)
     # The fault machinery actually engaged — this is not a vacuous pass.
     assert serial["dropped"] > 0 or serial["duplicated"] > 0
+    # Byte-identical causal view even with drops, duplicates, and the
+    # deadline machinery engaged; the replay stays bitwise-exact because
+    # every delivery's stamped lat is the injector's own transit delay.
+    dag_serial = CausalDag.from_records(tracer_serial.records)
+    dag_parallel = CausalDag.from_records(tracer_parallel.records)
+    assert dag_serial.to_json() == dag_parallel.to_json(), _pinpoint(run)
+    crit_serial = CriticalPath.from_records(tracer_serial.records)
+    crit_parallel = CriticalPath.from_records(tracer_parallel.records)
+    assert crit_serial.to_json() == crit_parallel.to_json(), _pinpoint(run)
+    assert crit_serial.reconciles()
+    assert crit_serial.total == serial["optimization_time"]

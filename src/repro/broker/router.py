@@ -12,6 +12,8 @@ Endpoints
 ``GET  /sessions/<id>``       one session's status
 ``GET  /sessions/<id>/result``completed result (409 until terminal)
 ``GET  /sessions/<id>/explain`` provenance audit (``?subquery=`` filter)
+``GET  /sessions/<id>/critpath`` critical-path decomposition (409 until
+                              terminal; requires a traced session)
 ``GET  /metrics``             serving metrics (occupancy, p50/p99, registry)
 ``GET  /metrics/prom``        Prometheus text exposition (``--live-obs`` adds
                               site/SLO/q-error families)
@@ -55,6 +57,11 @@ class Router:
                 "GET",
                 re.compile(r"^/sessions/(?P<sid>[^/]+)/explain/?$"),
                 self._explain,
+            ),
+            (
+                "GET",
+                re.compile(r"^/sessions/(?P<sid>[^/]+)/critpath/?$"),
+                self._critpath,
             ),
             ("GET", re.compile(r"^/metrics/?$"), self._metrics),
             ("GET", re.compile(r"^/metrics/prom/?$"), self._metrics_prom),
@@ -122,6 +129,9 @@ class Router:
         return 200, self.service.explain_payload(
             sid, subquery=params.get("subquery")
         )
+
+    def _critpath(self, body: bytes, params: dict, sid: str) -> tuple[int, dict]:
+        return 200, self.service.critpath_payload(sid)
 
     def _metrics(self, body: bytes, params: dict) -> tuple[int, dict]:
         return 200, self.service.metrics_payload()

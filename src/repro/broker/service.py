@@ -410,6 +410,23 @@ class BrokerService:
             )
         return explain(session.result, subquery=subquery).to_dict()
 
+    def critpath_payload(self, session_id: str) -> dict:
+        """The critical-path decomposition of a completed, traced session."""
+        session = self.get(session_id)
+        if not session.done:
+            raise BrokerError(
+                409, f"session {session_id} is {session.state}"
+            )
+        result = session.result
+        telemetry = result.telemetry if result is not None else None
+        if telemetry is None or telemetry.critical_path is None:
+            raise BrokerError(
+                409,
+                f"session {session_id} has no critical path "
+                "(submitted with trace=false, or it never ran)",
+            )
+        return telemetry.critical_path
+
     def _rollup(self) -> dict:
         """The one shared serving rollup both metric surfaces render.
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro trade "SELECT * FROM R0 r0 WHERE r0.cat = 3" \
         --fault-plan examples/fault_plan.json --timeout 0.05
     python -m repro explain "SELECT ..." --subquery R1 --json
+    python -m repro critical-path trace.jsonl --top 10
     python -m repro diff-trace run_a.jsonl run_b.jsonl.gz
     python -m repro bench-check --regress-pct 0.5
     python -m repro telecom --offices 4 --views
@@ -158,6 +159,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the audit as JSON (byte-identical across worker "
              "counts and repeated same-seed runs)",
+    )
+
+    critpath = sub.add_parser(
+        "critical-path",
+        help="replay a traced negotiation's causal DAG and print its "
+             "critical path: per-phase latency decomposition, the "
+             "bottleneck seller/link of every round, top-k segments",
+    )
+    critpath.add_argument("path", help="trace file (JSONL/Chrome, .gz ok)")
+    critpath.add_argument(
+        "--top", type=int, default=8,
+        help="how many critical-path segments to list (default 8)",
+    )
+    critpath.add_argument(
+        "--json", action="store_true",
+        help="emit the decomposition as JSON (byte-identical across "
+             "worker counts, clock implementations, and repeated "
+             "same-seed runs)",
     )
 
     diff_trace = sub.add_parser(
@@ -488,6 +507,35 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         except BrokenPipeError:
             return 0
     return 0 if explanation.found else 1
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    from repro.obs import CriticalPath, load_trace
+
+    try:
+        rows = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load trace: {exc}", file=sys.stderr)
+        return 2
+    if not rows:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    critical = CriticalPath.from_rows(rows)
+    if critical is None:
+        print(
+            "trace carries no trading rounds (was it recorded with "
+            "trade --trace-out?)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        if args.json:
+            print(critical.to_json(top=args.top))
+        else:
+            print(critical.render(top=args.top))
+    except BrokenPipeError:
+        return 0
+    return 0
 
 
 def _cmd_diff_trace(args: argparse.Namespace) -> int:
@@ -869,6 +917,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "trade": _cmd_trade,
         "explain": _cmd_explain,
+        "critical-path": _cmd_critical_path,
         "diff-trace": _cmd_diff_trace,
         "bench-check": _cmd_bench_check,
         "telecom": _cmd_telecom,

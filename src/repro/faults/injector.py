@@ -61,11 +61,18 @@ class FaultInjector:
     """Seeded, deterministic interception of network deliveries.
 
     Install with :meth:`Network.install_faults`; the network then routes
-    every send through :meth:`intercept`, which returns the delivery
-    times of the surviving copies (an empty list means the message was
-    lost).  Aggregate drop/duplicate counters are mirrored into the
-    network's :class:`~repro.net.simulator.NetworkStats` so trading
-    results report them alongside message counts.
+    every send through :meth:`intercept`, which returns the transit
+    delays of the surviving copies (an empty list means the message was
+    lost).  Returning *delays* rather than arrival instants matters:
+    the network schedules each copy at ``depart + delay`` and stamps
+    the same ``lat`` on the ``msg.deliver`` trace event, so the causal
+    critical-path replay (which recomputes ``depart + lat``) reproduces
+    the simulator's arithmetic bit-for-bit — and a clean link's delay
+    is the exact :meth:`Network.message_delay` value the fault-free
+    path stamps, keeping a null plan byte-invisible in the causal DAG.
+    Aggregate drop/duplicate counters are mirrored into the network's
+    :class:`~repro.net.simulator.NetworkStats` so trading results
+    report them alongside message counts.
     """
 
     def __init__(self, plan: FaultPlan | None = None):
@@ -84,7 +91,7 @@ class FaultInjector:
     def intercept(
         self, network: Network, message: Message, depart: float
     ) -> list[float]:
-        """Delivery times for *message* departing at *depart*."""
+        """Transit delays of *message*'s surviving copies."""
         tracer = network.tracer
         self.log.intercepted += 1
         if self.is_down(message.sender, depart):
@@ -94,6 +101,7 @@ class FaultInjector:
                 tracer.event(
                     "fault.drop", "fault", site=message.sender,
                     reason="sender_down", kind=message.kind.value,
+                    mid=message.mid,
                 )
             return []
         link = self.plan.link_for(message.sender, message.recipient)
@@ -104,6 +112,7 @@ class FaultInjector:
                 tracer.event(
                     "fault.drop", "fault", site=message.recipient,
                     reason="link", kind=message.kind.value,
+                    mid=message.mid,
                 )
             return []
         delay = network.message_delay(message)
@@ -113,31 +122,32 @@ class FaultInjector:
             if tracer.enabled:
                 tracer.event(
                     "fault.delay_spike", "fault", site=message.recipient,
-                    kind=message.kind.value,
+                    kind=message.kind.value, mid=message.mid,
                 )
-        arrivals = [depart + delay]
+        delays = [delay]
         if link.duplicate_rate > 0 and self.rng.random() < link.duplicate_rate:
             self.log.duplicated += 1
             network.stats.duplicated += 1
             if tracer.enabled:
                 tracer.event(
                     "fault.duplicate", "fault", site=message.recipient,
-                    kind=message.kind.value,
+                    kind=message.kind.value, mid=message.mid,
                 )
             # The duplicate takes its own (slower) trip over the link.
-            arrivals.append(
-                depart + delay + network.message_delay(message) * self.rng.uniform(0.5, 1.5)
+            delays.append(
+                delay + network.message_delay(message) * self.rng.uniform(0.5, 1.5)
             )
         delivered = []
-        for arrival in arrivals:
-            if self.is_down(message.recipient, arrival):
+        for lat in delays:
+            if self.is_down(message.recipient, depart + lat):
                 self.log.dropped_recipient_down += 1
                 network.stats.dropped += 1
                 if tracer.enabled:
                     tracer.event(
                         "fault.drop", "fault", site=message.recipient,
                         reason="recipient_down", kind=message.kind.value,
+                        mid=message.mid,
                     )
                 continue
-            delivered.append(arrival)
+            delivered.append(lat)
         return delivered

@@ -326,5 +326,13 @@ class ResilientTrader:
         net = trader.network
         work = result.enumerated * trader.plan_generator.seconds_per_plan
         finish = net.compute(trader.buyer, work)
+        if net.tracer.enabled:
+            # ``reassembly=True`` keeps the critical-path replay from
+            # mistaking this for a trading round's DP pass.
+            net.tracer.interval(
+                "buyer.compute", "trading", site=trader.buyer,
+                sim_start=finish - work, sim_end=finish,
+                work=work, enumerated=result.enumerated, reassembly=True,
+            )
         net.sim.schedule_at(finish, lambda: None)
         net.run()

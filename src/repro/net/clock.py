@@ -27,6 +27,15 @@ session.  The session's worker thread schedules work and blocks in
 :meth:`AsyncClock.run_until_idle`; all callbacks execute on the shared
 asyncio loop thread.  The internal lock only guards the heap — callbacks
 themselves are never run under it.
+
+Causal tracing rides on this ordering guarantee: the network's Lamport
+message ids (:meth:`repro.net.simulator.Network.next_causal_id`) are
+minted inside handler bodies, and because equally-due callbacks dispatch
+in insertion order under *both* clocks, a given seed mints the same id
+for the same message under the simulator and under wall time.  The
+causal DAG (:mod:`repro.obs.causal`) additionally sorts by ``(mid,
+simulated time)`` rather than record order, so wall-time jitter between
+*unequal* deadlines cannot perturb its byte-identical output either.
 """
 
 from __future__ import annotations

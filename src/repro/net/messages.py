@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
-__all__ = ["MessageKind", "Message"]
+__all__ = ["MessageKind", "Message", "NO_CAUSE"]
 
 
 class MessageKind(Enum):
@@ -32,12 +32,25 @@ class MessageKind(Enum):
     DATA = "data"
 
 
+#: Causal ids of unstamped messages (tracing disabled) and of root
+#: messages with no causal parent.
+NO_CAUSE = -1
+
+
 @dataclass(frozen=True, slots=True)
 class Message:
     """One network message.
 
     ``size_bytes`` drives the bandwidth component of delivery delay;
     control messages default to the cost model's control message size.
+
+    ``mid``/``parent`` are the causal-tracing stamps: when a tracer is
+    attached, :meth:`~repro.net.simulator.Network.send` assigns ``mid``
+    from the session's monotone Lamport counter and ``parent`` from the
+    message (or timeout) whose handler triggered this send.  Both stay
+    ``-1`` (:data:`NO_CAUSE`) with tracing off — the stamps exist only
+    so the causal DAG (:mod:`repro.obs.causal`) can be rebuilt from
+    trace records; no protocol logic may branch on them.
     """
 
     kind: MessageKind
@@ -45,6 +58,8 @@ class Message:
     recipient: str
     payload: Any = None
     size_bytes: int | None = None
+    mid: int = NO_CAUSE
+    parent: int = NO_CAUSE
 
     def trace_args(self, size: int) -> dict[str, Any]:
         """Small, JSON-able payload summary for trace events.
@@ -58,6 +73,9 @@ class Message:
             "to": self.recipient,
             "bytes": size,
         }
+        if self.mid != NO_CAUSE:
+            args["mid"] = self.mid
+            args["parent"] = self.parent
         payload = self.payload
         if payload is None:
             return args

@@ -228,6 +228,11 @@ class Network:
         self.tracer: Tracer = NULL_TRACER
         self._handlers: dict[str, Handler] = {}
         self._busy_until: dict[str, float] = {}
+        # Monotone per-session Lamport counter for causal message ids.
+        # Only consumed when a tracer is attached; sends happen inside
+        # handler bodies whose order both clocks pin down identically
+        # (the (when, seq) tie-break), so assigned ids are deterministic.
+        self._next_causal_id = 0
 
     # -- membership --------------------------------------------------------
     def register(self, node: str, handler: Handler) -> None:
@@ -257,6 +262,13 @@ class Network:
         """
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.bind_sim(self.sim)
+
+    # -- causality --------------------------------------------------------
+    def next_causal_id(self) -> int:
+        """Mint the next causal id (messages, timeouts, re-issues)."""
+        mid = self._next_causal_id
+        self._next_causal_id = mid + 1
+        return mid
 
     # -- time ------------------------------------------------------------
     @property
@@ -303,27 +315,69 @@ class Network:
         )
         self.stats.record(message, size)
         if self.tracer.enabled:
+            # Stamp the causal metadata: a fresh Lamport id plus the
+            # causal parent — the message (or timeout) whose handler is
+            # sending.  Message is a frozen dataclass; ``frozen`` only
+            # overrides ``__setattr__``, so the object-level setter
+            # mutates the stamps in place without a copy.
+            object.__setattr__(message, "mid", self.next_causal_id())
+            object.__setattr__(message, "parent", self.tracer.cause)
             self.tracer.event(
                 "msg.send", "net", site=message.sender,
                 **message.trace_args(size),
             )
         depart = max(self.now, earliest if earliest is not None else self.now)
         if self.fault_injector is None:
-            self._schedule_delivery(message, depart + self.message_delay(message))
+            delay = self.message_delay(message)
+            self._schedule_delivery(message, depart + delay, lat=delay)
             return
-        for deliver_at in self.fault_injector.intercept(self, message, depart):
-            self._schedule_delivery(message, deliver_at)
+        # The injector hands back each surviving copy's *transit delay*;
+        # scheduling at ``depart + lat`` and stamping that same ``lat``
+        # keeps the simulator's and the critical-path replay's float
+        # arithmetic identical, so the replay is bitwise-exact.
+        for copy, lat in enumerate(
+            self.fault_injector.intercept(self, message, depart)
+        ):
+            self._schedule_delivery(
+                message, depart + lat, copy=copy, lat=lat
+            )
 
-    def _schedule_delivery(self, message: Message, deliver_at: float) -> None:
+    def _schedule_delivery(
+        self,
+        message: Message,
+        deliver_at: float,
+        copy: int = 0,
+        lat: float = 0.0,
+    ) -> None:
         def _deliver() -> None:
-            if self.tracer.enabled:
-                self.tracer.event(
+            tracer = self.tracer
+            if tracer.enabled:
+                # ``lat`` is the transit delay this copy experienced —
+                # deterministic (cost model + seeded fault draws), which
+                # is what lets the causal critical path be reconstructed
+                # identically under wall-clock serving, where recorded
+                # timestamps are not simulated times.
+                tracer.event(
                     "msg.deliver", "net", site=message.recipient,
                     kind=message.kind.value, sender=message.sender,
+                    mid=message.mid, copy=copy, lat=lat,
                 )
             handler = self._handlers.get(message.recipient)
-            if handler is not None:
+            if handler is None:
+                return
+            if not tracer.enabled:
                 handler(self, message)
+                return
+            # Every send issued from inside the handler is causally a
+            # child of this delivery; restore the previous cause so
+            # nested synchronous deliveries (there are none today, but
+            # the invariant is cheap) unwind correctly.
+            prior = tracer.cause
+            tracer.cause = message.mid
+            try:
+                handler(self, message)
+            finally:
+                tracer.cause = prior
 
         self.sim.schedule_at(deliver_at, _deliver)
 

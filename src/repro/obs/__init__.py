@@ -17,6 +17,12 @@ the event schema, the span hierarchy, the decision-ledger model, and
 the determinism/overhead contracts.
 """
 
+from repro.obs.causal import CAUSAL_SCHEMA_VERSION, CausalDag, causal_events
+from repro.obs.critpath import (
+    CRITPATH_SCHEMA_VERSION,
+    PHASES,
+    CriticalPath,
+)
 from repro.obs.diff import TraceDiff, diff_json, diff_records, diff_rows
 from repro.obs.explain import CommodityExplanation, Explanation, explain
 from repro.obs.export import (
@@ -49,11 +55,16 @@ from repro.obs.tracer import CAT_PARALLEL, NULL_TRACER, TraceRecord, Tracer
 __all__ = [
     "CAT_DECISION",
     "CAT_PARALLEL",
+    "CAUSAL_SCHEMA_VERSION",
+    "CRITPATH_SCHEMA_VERSION",
     "BenchHistory",
+    "CausalDag",
     "CommodityExplanation",
+    "CriticalPath",
     "DEFAULT_GATES",
     "Explanation",
     "Gate",
+    "PHASES",
     "MetricsRegistry",
     "NULL_TRACER",
     "NegotiationLedger",
@@ -61,6 +72,7 @@ __all__ = [
     "TraceDiff",
     "TraceRecord",
     "Tracer",
+    "causal_events",
     "check_drift",
     "check_gates",
     "chrome_trace_events",

@@ -163,6 +163,7 @@ class Gate:
 DEFAULT_GATES = (
     Gate("enumeration", "eight_join_speedup", "ge", 3.0),
     Gate("obs_overhead", "worst_null_overhead", "lt", 0.05),
+    Gate("obs_overhead", "causal_overhead", "lt", 0.05),
     Gate("obs_overhead", "live_overhead", "lt", 0.10),
     Gate("parallel", "eight_join_speedup", "ge", 2.0,
          when="speedup_gate_enforced"),

@@ -40,7 +40,7 @@ __all__ = ["NegotiationLedger", "CAT_DECISION", "LEDGER_SCHEMA_VERSION"]
 CAT_DECISION = "decision"
 
 #: Bump when the ledger's JSON shape changes.
-LEDGER_SCHEMA_VERSION = 1
+LEDGER_SCHEMA_VERSION = 2  # v2: offer nodes carry nominal pricing effort
 
 
 def _offer_node(offer_id: int) -> dict[str, Any]:
@@ -55,6 +55,7 @@ def _offer_node(offer_id: int) -> dict[str, Any]:
         "money": None,
         "total_time": None,
         "cache": None,       # seller-side lineage: hit / miss / none
+        "effort": None,      # nominal optimizer effort (cache-independent)
         "shared": None,      # MQO sharer count (amortized commodities)
         "round": None,       # round the seller priced it in
         "value": None,       # buyer's valuation (set on receipt)
@@ -159,6 +160,7 @@ class NegotiationLedger:
                     money=args.get("money"),
                     total_time=args.get("total_time"),
                     cache=args.get("cache"),
+                    effort=args.get("effort"),
                     shared=args.get("shared"),
                     round=args.get("round"),
                 )

@@ -55,7 +55,11 @@ class EventRing:
         """Events with id > *cursor*, oldest first, capped at *limit*.
 
         Returns ``{"events": [...], "cursor": <resume-from>,
-        "dropped": <evicted-before-catchup>}``.
+        "dropped": <evicted-before-catchup>, "gap": <bool>}``.  ``gap``
+        is the explicit "your cursor fell past the ring's tail" marker:
+        true exactly when events between *cursor* and the oldest
+        retained one were evicted, so the stream the client resumes is
+        not contiguous with what it saw last.
         """
         limit = max(1, min(int(limit), MAX_LIMIT))
         with self._lock:
@@ -63,4 +67,9 @@ class EventRing:
             dropped = max(0, oldest - max(int(cursor), 0) - 1) if cursor < oldest else 0
             selected = [e for e in self._events if e["id"] > cursor][:limit]
             resume = selected[-1]["id"] if selected else max(cursor, self._next_id - 1)
-            return {"events": selected, "cursor": resume, "dropped": dropped}
+            return {
+                "events": selected,
+                "cursor": resume,
+                "dropped": dropped,
+                "gap": bool(dropped),
+            }

@@ -96,7 +96,11 @@ class LiveObsHub:
         result = session.result
         ledger = result.ledger if result is not None else None
         records = getattr(session, "live_records", None)
-        self.registry.observe_session(ledger, records)
+        telemetry = result.telemetry if result is not None else None
+        critical_path = (
+            telemetry.critical_path if telemetry is not None else None
+        )
+        self.registry.observe_session(ledger, records, critical_path)
         session.live_records = None  # the hub is the records' last stop
         event = {
             "session": session.session_id,
@@ -218,9 +222,35 @@ class LiveObsHub:
         for site, extras in self.registry.operational().items():
             builder.gauge(
                 "site_pricing_effort_mean_seconds",
-                "mean actual per-RFB pricing effort (cache-dependent)",
+                "mean nominal per-offer pricing effort (cache-independent)",
                 extras["effort_mean_s"],
                 site=site,
+            )
+            builder.gauge(
+                "site_critical_seconds",
+                "seller compute seconds on session critical paths",
+                extras["critical_seconds"],
+                site=site,
+            )
+        critical = self.registry.critical_summary()
+        builder.counter(
+            "critpath_sessions_observed",
+            "sessions folded in with a critical-path decomposition",
+            critical["sessions"],
+        )
+        for phase, sketch_dict in critical["phases"].items():
+            sketch = QuantileSketch.from_dict(sketch_dict)
+            builder.gauge(
+                "critpath_phase_seconds_mean",
+                "mean per-session critical-path seconds per phase",
+                round(sketch.mean, 9),
+                phase=phase,
+            )
+            builder.gauge(
+                "critpath_phase_seconds_p95",
+                "p95 per-session critical-path seconds per phase",
+                sketch.quantile(0.95),
+                phase=phase,
             )
         slo = self.slo.summary()
         builder.gauge(

@@ -19,15 +19,27 @@ QuantileSketch` — so a registry built from any interleaving of the same
 sessions snapshots to identical bytes.  ``snapshot()``/
 ``from_snapshot()`` round-trip exactly.
 
-One quantity is deliberately kept *out* of the snapshot: the
-``seller.compute`` spans' ``work`` argument (actual per-RFB pricing
-effort).  With the broker's *shared* cross-session offer cache, which
-session pays the pricing cost — full DP on a miss, a fraction on a hit
-— depends on completion interleaving, so ``work`` is not run-to-run
-deterministic under concurrency.  It is still aggregated (the
-:attr:`SiteStats.effort` sketch) and exposed on the operational
-surfaces (``GET /sites`` extras, Prometheus gauges), just never in the
-byte-identity snapshot.
+Pricing-effort accounting is **nominal**: the per-offer ``effort``
+field the ledger stamps at ``ledger.priced`` time (enumerated plans ×
+seconds-per-plan, independent of cache state).  The actual
+``seller.compute`` span ``work`` is *not* used — with the broker's
+shared cross-session offer cache, which session pays the pricing cost
+depends on completion interleaving, so ``work`` is not run-to-run
+deterministic under concurrency.  Nominal effort is, which is what
+lets the :attr:`SiteStats.effort` sketch live in the byte-identity
+snapshot.
+
+When sessions carry a critical-path decomposition
+(:mod:`repro.obs.critpath`), the registry also aggregates per-phase
+critical-path latency sketches and each seller's compute seconds *on*
+the critical path.  Those aggregates stay on the *operational* surface
+(:meth:`SiteStatsRegistry.operational` /
+:meth:`SiteStatsRegistry.critical_summary`, and the Prometheus
+exposition) rather than the byte-identity snapshot: a session's
+critical path attributes the compute that *actually* ran, and under
+shared cross-session pricing which session pays a shared subquery is
+an interleaving accident — exactly the raciness that disqualified raw
+``work`` from the effort sketch.
 """
 
 from __future__ import annotations
@@ -43,7 +55,7 @@ from repro.obs.tracer import CAT_PARALLEL, TraceRecord
 __all__ = ["SiteStats", "SiteStatsRegistry", "SITE_STATS_SCHEMA_VERSION"]
 
 #: Bump when the snapshot shape changes.
-SITE_STATS_SCHEMA_VERSION = 1
+SITE_STATS_SCHEMA_VERSION = 2  # v2: nominal per-offer effort sketch
 
 
 class SiteStats:
@@ -60,6 +72,7 @@ class SiteStats:
         "valuation",
         "latency",
         "effort",
+        "critical_units",
     )
 
     def __init__(self) -> None:
@@ -72,9 +85,18 @@ class SiteStats:
         self.settled = QuantileSketch()    # settled (Vickrey) prices
         self.valuation = QuantileSketch()  # buyer valuations of its offers
         self.latency = QuantileSketch()    # offered total time (sim s)
-        #: Actual per-RFB pricing effort (sim s) — cache-interleaving
-        #: dependent, so operational-only: excluded from to_dict().
+        #: Nominal per-offer pricing effort (sim s): enumerated plans ×
+        #: seconds-per-plan as stamped at ``ledger.priced`` time, so it
+        #: is cache-independent and deterministic.
         self.effort = QuantileSketch()
+        #: Seller compute seconds attributed to session critical paths,
+        #: kept as integer nano-units (like the sketch sums) so the
+        #: total is exact and independent of the order sessions finish.
+        self.critical_units = 0
+
+    @property
+    def critical_seconds(self) -> float:
+        return self.critical_units / 1e9
 
     @property
     def win_rate(self) -> float:
@@ -86,7 +108,6 @@ class SiteStats:
         return self.rfbs_answered / self.rfbs_handled if self.rfbs_handled else 0.0
 
     def to_dict(self) -> dict:
-        # Deliberately excludes `effort` — see the module docstring.
         return {
             "wins": self.wins,
             "losses": self.losses,
@@ -99,6 +120,7 @@ class SiteStats:
             "settled": self.settled.to_dict(),
             "valuation": self.valuation.to_dict(),
             "latency": self.latency.to_dict(),
+            "effort": self.effort.to_dict(),
         }
 
     @classmethod
@@ -113,6 +135,7 @@ class SiteStats:
         stats.settled = QuantileSketch.from_dict(payload.get("settled") or {})
         stats.valuation = QuantileSketch.from_dict(payload.get("valuation") or {})
         stats.latency = QuantileSketch.from_dict(payload.get("latency") or {})
+        stats.effort = QuantileSketch.from_dict(payload.get("effort") or {})
         return stats
 
 
@@ -126,6 +149,9 @@ class SiteStatsRegistry:
         self.rounds = 0
         self.rfb_fanout = 0     # total RFB messages broadcast (fanout sum)
         self.rfb_responded = 0  # sellers that answered, summed over rounds
+        self.critical_sessions = 0  # sessions with a critical-path breakdown
+        #: Per-phase critical-path seconds, one observation per session.
+        self.phase_latency: dict[str, QuantileSketch] = {}
 
     def _site(self, name: str) -> SiteStats:
         stats = self._sites.get(name)
@@ -138,12 +164,15 @@ class SiteStatsRegistry:
         self,
         ledger: NegotiationLedger | None,
         records: Iterable[TraceRecord] | None = None,
+        critical_path: Mapping | None = None,
     ) -> None:
         """Fold one completed session's ledger + trace into the registry.
 
         Untraced sessions (``trace=false``) contribute nothing — the
         ledger only exists when tracing was on, which is the broker's
-        default.
+        default.  *critical_path* is the session telemetry's
+        decomposition dict (``RunTelemetry.critical_path``), when one
+        was computed.
         """
         if ledger is None:
             return
@@ -160,6 +189,9 @@ class SiteStatsRegistry:
                 total_time = node.get("total_time")
                 if total_time is not None:
                     stats.latency.add(float(total_time))
+                effort = node.get("effort")
+                if effort is not None:
+                    stats.effort.add(float(effort))
                 if node.get("received"):
                     stats.offers_received += 1
                     value = node.get("value")
@@ -176,6 +208,8 @@ class SiteStatsRegistry:
                     stats.losses += 1
             if records is not None:
                 self._observe_records(records)
+            if critical_path is not None:
+                self._observe_critical(critical_path)
 
     def _observe_records(self, records: Iterable[TraceRecord]) -> None:
         """Latency/fanout accounting from trace record *args* only."""
@@ -188,11 +222,24 @@ class SiteStatsRegistry:
                 stats.rfbs_handled += 1
                 if args.get("offers"):
                     stats.rfbs_answered += 1
-                stats.effort.add(float(args.get("work", 0.0)))
             elif record.name == "rfb.fanout":
                 self.rfb_fanout += int(args.get("sellers", 0))
             elif record.name == "protocol.solicit":
                 self.rfb_responded += int(args.get("responded", 0))
+
+    def _observe_critical(self, decomposition: Mapping) -> None:
+        """Fold one session's critical-path decomposition in."""
+        phases = decomposition.get("phases") or {}
+        if not phases:
+            return
+        self.critical_sessions += 1
+        for phase in sorted(phases):
+            sketch = self.phase_latency.get(phase)
+            if sketch is None:
+                sketch = self.phase_latency[phase] = QuantileSketch()
+            sketch.add(float(phases[phase]))
+        for site, seconds in (decomposition.get("sellers") or {}).items():
+            self._site(site).critical_units += round(float(seconds) * 1e9)
 
     def merge(self, other: "SiteStatsRegistry") -> None:
         """Fold *other* in (e.g. per-shard registries); order-free."""
@@ -201,6 +248,12 @@ class SiteStatsRegistry:
             self.rounds += other.rounds
             self.rfb_fanout += other.rfb_fanout
             self.rfb_responded += other.rfb_responded
+            self.critical_sessions += other.critical_sessions
+            for phase, theirs_sketch in other.phase_latency.items():
+                mine_sketch = self.phase_latency.get(phase)
+                if mine_sketch is None:
+                    mine_sketch = self.phase_latency[phase] = QuantileSketch()
+                mine_sketch.merge(theirs_sketch)
             for name, theirs in other._sites.items():
                 mine = self._site(name)
                 mine.wins += theirs.wins
@@ -213,6 +266,7 @@ class SiteStatsRegistry:
                 mine.valuation.merge(theirs.valuation)
                 mine.latency.merge(theirs.latency)
                 mine.effort.merge(theirs.effort)
+                mine.critical_units += theirs.critical_units
 
     # -- read ----------------------------------------------------------
     def sites(self) -> list[str]:
@@ -244,15 +298,37 @@ class SiteStatsRegistry:
             }
 
     def operational(self) -> dict:
-        """Cache-interleaving-dependent extras (actual pricing effort),
-        kept off the deterministic snapshot surface."""
+        """Headline effort scalars for the ``GET /sites`` payload
+        (precomputed from the nominal-effort sketches), plus each
+        site's seller-compute seconds on session critical paths.
+
+        Critical-path attribution is *actual*, not nominal: under
+        cross-session shared pricing, which session pays a shared
+        subquery's compute depends on thread interleaving, so these
+        figures (like wall-clock latencies) stay off the byte-identity
+        snapshot surface."""
         with self._lock:
             return {
                 name: {
                     "effort_mean_s": round(self._sites[name].effort.mean, 9),
                     "effort_p95_s": self._sites[name].effort.quantile(0.95),
+                    "critical_seconds": round(
+                        self._sites[name].critical_units / 1e9, 9
+                    ),
                 }
                 for name in sorted(self._sites)
+            }
+
+    def critical_summary(self) -> dict:
+        """Operational critical-path aggregates: session count and the
+        per-phase latency sketches (one observation per session)."""
+        with self._lock:
+            return {
+                "sessions": self.critical_sessions,
+                "phases": {
+                    phase: self.phase_latency[phase].to_dict()
+                    for phase in sorted(self.phase_latency)
+                },
             }
 
     def to_json(self) -> str:

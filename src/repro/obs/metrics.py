@@ -19,6 +19,7 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro.obs.critpath import CriticalPath
 from repro.obs.tracer import TraceRecord
 
 __all__ = ["MetricsRegistry", "RunTelemetry", "SIM_SECONDS_BUCKETS"]
@@ -224,16 +225,21 @@ class RunTelemetry:
     events: int
     gauges: int
     metrics: MetricsRegistry
+    #: Deterministic critical-path decomposition of the run
+    #: (:mod:`repro.obs.critpath`), or ``None`` for non-trading traces.
+    critical_path: dict | None = None
 
     @classmethod
     def from_records(cls, records: Sequence[TraceRecord]) -> "RunTelemetry":
         spans = sum(1 for r in records if r.kind == "span")
         gauges = sum(1 for r in records if r.kind == "gauge")
+        critical = CriticalPath.from_records(records)
         return cls(
             spans=spans,
             events=len(records) - spans - gauges,
             gauges=gauges,
             metrics=MetricsRegistry.from_records(records),
+            critical_path=None if critical is None else critical.to_dict(),
         )
 
     @property
@@ -255,4 +261,5 @@ class RunTelemetry:
             "events": self.events,
             "gauges": self.gauges,
             "metrics": self.metrics.to_dict(),
+            "critical_path": self.critical_path,
         }

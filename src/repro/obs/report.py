@@ -7,6 +7,9 @@ the quantities a profiling pass actually wants:
 * per-phase aggregates and the top-k slowest individual spans
   (simulated time; wall time shown when the trace carries it),
 * the message breakdown by type (count + bytes + faults),
+* the causal critical path of the negotiation (per-phase latency
+  decomposition and each round's bottleneck; see
+  :mod:`repro.obs.critpath`),
 * per-site cache hit ratios,
 * the simulator queue gauge and, for parallel runs, the offer-farm
   fallback reasons.
@@ -188,6 +191,23 @@ def summarize(rows: Sequence[dict], top: int = 8) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+def _critical_path(rows: Sequence[dict]):
+    """The trace's critical path, or ``None`` for non-trading traces.
+
+    Reports must render whatever trace they are handed, so a replay
+    that cannot make sense of the rows (truncated trace, foreign
+    schema) degrades to "no critical-path section" rather than failing
+    the whole report.
+    """
+    from repro.obs.critpath import CriticalPath
+
+    try:
+        return CriticalPath.from_rows(rows)
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
 def _table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     rendered = [[str(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
@@ -250,6 +270,43 @@ def render_report(rows: Sequence[dict], top: int = 8) -> str:
                     for row in summary["slowest"]
                 ],
             )
+        )
+
+    critical = _critical_path(rows)
+    if critical is not None:
+        decomposition = critical.to_dict()
+        total = decomposition["total"] or 1.0
+        out.append("")
+        out.append(
+            f"critical path: {decomposition['total']:.6f}s across "
+            f"{len(decomposition['trades'])} trade(s)"
+        )
+        out.append(
+            _table(
+                ["phase", "seconds", "share"],
+                [
+                    [phase, f"{seconds:.6f}", f"{seconds / total:.1%}"]
+                    for phase, seconds in decomposition["phases"].items()
+                    if seconds > 0.0
+                ],
+            )
+        )
+        bottlenecks = [
+            (trade["trade"], rnd["round"], rnd["bottleneck"])
+            for trade in decomposition["trades"]
+            for rnd in trade["rounds"]
+            if rnd.get("bottleneck")
+        ]
+        if bottlenecks:
+            out.append("  round bottlenecks:")
+            for trade_no, round_no, b in bottlenecks:
+                where = b.get("seller") or b.get("kind", "?")
+                out.append(
+                    f"    trade {trade_no} round {round_no}: "
+                    f"{b.get('kind', '?')} via {where}"
+                )
+        out.append(
+            "  (full decomposition: repro critical-path <trace>)"
         )
 
     messages = summary["messages"]

@@ -144,7 +144,7 @@ class Tracer:
         run unbound and their records are re-stamped on absorb.
     """
 
-    __slots__ = ("enabled", "records", "_seq", "_stack", "_sim")
+    __slots__ = ("enabled", "records", "_seq", "_stack", "_sim", "cause")
 
     def __init__(self, enabled: bool = True, sim=None):
         self.enabled = enabled
@@ -152,6 +152,12 @@ class Tracer:
         self._seq = 0
         self._stack: list[int] = []
         self._sim = sim
+        #: Causal id of the message (or timeout) whose handler is
+        #: currently executing — the ``parent`` stamped onto any message
+        #: sent from inside that handler.  Maintained by
+        #: :class:`~repro.net.simulator.Network` around handler
+        #: dispatch; ``NO_PARENT`` outside any delivery.
+        self.cause = NO_PARENT
 
     # ------------------------------------------------------------------
     def bind_sim(self, sim) -> "Tracer":
@@ -167,6 +173,7 @@ class Tracer:
         self.records.clear()
         self._seq = 0
         self._stack.clear()
+        self.cause = NO_PARENT
 
     # ------------------------------------------------------------------
     def span(self, name: str, cat: str, site: str = "", **args):

@@ -106,9 +106,16 @@ def _prepare_chunk(agents: Mapping[str, "SellerAgent"], rfb: RequestForBids):
 
 
 def _remap_provenance(
-    events: list[TraceRecord], base: int
+    events: list[TraceRecord], base: int, cause: int
 ) -> list[TraceRecord]:
     """Worker ``ledger.*`` rows with creation-index offer ids rebased.
+
+    *cause* is the parent tracer's current causal id — the mid of the
+    RFB delivery consuming this batch.  Worker tracers run outside any
+    delivery (their ``cause`` is ``-1``), so rows that carry a causal
+    stamp are rebased here, exactly like offer ids: afterwards the
+    absorbed rows are byte-identical to what the serial seller would
+    have recorded inside the delivery handler.
 
     Shipped rows are left untouched (copies are made) so a batch can be
     inspected after consumption.
@@ -116,14 +123,14 @@ def _remap_provenance(
     remapped = []
     for row in events:
         args = row.args
-        if (
-            args is not None
-            and row.name.startswith("ledger.")
-            and "offer" in args
-        ):
-            args = dict(args)
-            args["offer"] = base + args["offer"]
-            row = replace(row, args=args)
+        if args is not None and row.name.startswith("ledger."):
+            if "offer" in args or "cause" in args:
+                args = dict(args)
+                if "offer" in args:
+                    args["offer"] = base + args["offer"]
+                if "cause" in args:
+                    args["cause"] = cause
+                row = replace(row, args=args)
         remapped.append(row)
     return remapped
 
@@ -211,7 +218,7 @@ class RoundPrefetch:
                 replace(offer, offer_id=base + offer.offer_id)
                 for offer in offers
             ]
-            events = _remap_provenance(events, base)
+            events = _remap_provenance(events, base, tracer.cause)
         # Worker trace rows next (the prepare_offers span, its cache
         # hits/misses, and the pricing decisions), exactly where the
         # serial call would have recorded them; the store replay below

@@ -313,6 +313,7 @@ class BiddingProtocol(NegotiationProtocol):
                     "seller.compute", "trading", site=message.recipient,
                     sim_start=done - work, sim_end=done,
                     work=work, offers=len(offers),
+                    cause=message.mid,
                 )
             if offers:
                 net.send(
@@ -350,6 +351,7 @@ class BiddingProtocol(NegotiationProtocol):
                     state["timer"].cancel()
 
         def issue(attempt: int) -> None:
+            deadline = None
             if self.timeout is not None:
                 deadline = self.timeout * (self.backoff**attempt)
                 state["timer"] = network.sim.schedule_cancellable(
@@ -371,6 +373,7 @@ class BiddingProtocol(NegotiationProtocol):
                 "rfb.fanout", "trading", site=buyer,
                 attempt=attempt, sellers=len(expected),
                 round=rfb.round_number,
+                **({"deadline": deadline} if deadline is not None else {}),
             ):
                 for node in expected:
                     network.send(
@@ -385,21 +388,34 @@ class BiddingProtocol(NegotiationProtocol):
 
         def on_deadline() -> None:
             state["timeouts"] += 1
-            if network.tracer.enabled:
-                network.tracer.event(
+            tracer = network.tracer
+            timeout_id = -1
+            if tracer.enabled:
+                # The timeout itself is a causal node: re-issued RFBs
+                # descend from it, not from the original fanout.
+                timeout_id = network.next_causal_id()
+                tracer.event(
                     "round.timeout", "trading", site=buyer,
                     responded=len(responded), expected=len(expected),
+                    mid=timeout_id,
                 )
             if not responded and state["retries"] < self.max_retries:
                 # All sellers silent: re-issue with exponential backoff.
                 state["retries"] += 1
                 network.stats.retried += len(expected)
-                if network.tracer.enabled:
-                    network.tracer.event(
+                if tracer.enabled:
+                    tracer.event(
                         "round.retry", "trading", site=buyer,
-                        attempt=state["retries"],
+                        attempt=state["retries"], mid=timeout_id,
                     )
-                issue(state["retries"])
+                    prior = tracer.cause
+                    tracer.cause = timeout_id
+                    try:
+                        issue(state["retries"])
+                    finally:
+                        tracer.cause = prior
+                else:
+                    issue(state["retries"])
             else:
                 state["closed"] = True
 

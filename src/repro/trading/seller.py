@@ -139,6 +139,15 @@ class SellerAgent:
         #: ("hit" / "miss" / "none"), read by the decision-ledger
         #: instrumentation right after the call.
         self._last_cache_lineage: str = "none"
+        #: Nominal optimizer effort accumulated for the query currently
+        #: being priced: ``enumerated × seconds_per_plan`` summed over
+        #: the :meth:`optimize_cached` calls it triggered.  Unlike the
+        #: *charged* work (which shrinks to ``hit_work_fraction`` on an
+        #: offer-cache hit, so shared-cache interleaving makes it racy
+        #: across sessions), the nominal effort is a pure function of
+        #: the query and the seller's catalog — the deterministic
+        #: per-offer ``effort`` the decision ledger records.
+        self._nominal_effort: float = 0.0
 
     # ------------------------------------------------------------------
     def prepare_offers(
@@ -160,12 +169,15 @@ class SellerAgent:
         offers: list[Offer] = []
         work = 0.0
         lineage: dict[str, str] = {}
+        efforts: dict[str, float] = {}
         for query in rfb.queries:
             self._last_cache_lineage = "none"
+            self._nominal_effort = 0.0
             new_offers, query_work = self._offers_for(
                 query, rfb.reservation_for(query), rfb.round_number
             )
             lineage[query.key()] = self._last_cache_lineage
+            efforts[query.key()] = self._nominal_effort
             offers.extend(new_offers)
             work += query_work
         deduped = _dedupe(offers)
@@ -181,6 +193,7 @@ class SellerAgent:
                 shared = rfb.shared_count_for(offer.request_key)
                 tracer.event(
                     "ledger.priced", "decision", site=self.node,
+                    cause=tracer.cause,
                     offer=offer.offer_id,
                     seller=offer.seller,
                     request=offer.request_key,
@@ -190,6 +203,9 @@ class SellerAgent:
                     money=offer.properties.money,
                     total_time=offer.properties.total_time,
                     cache=lineage.get(offer.request_key, "none"),
+                    effort=round(
+                        efforts.get(offer.request_key, 0.0), 12
+                    ),
                     round=rfb.round_number,
                     **({"shared": shared} if shared else {}),
                 )
@@ -216,7 +232,9 @@ class SellerAgent:
             result = self.optimizer.optimize(
                 query, self.node, coverage=dict(coverage)
             )
-            return result, result.enumerated * self.seconds_per_plan
+            nominal = result.enumerated * self.seconds_per_plan
+            self._nominal_effort += nominal
+            return result, nominal
         key = cache.key_for(
             query,
             coverage,
@@ -227,6 +245,9 @@ class SellerAgent:
         cached = cache.lookup(key)
         if cached is not None:
             self._last_cache_lineage = "hit"
+            # Nominal effort is cache-independent: ``enumerated`` is the
+            # same whether the result was recomputed or replayed.
+            self._nominal_effort += cached.enumerated * self.seconds_per_plan
             work = (
                 cached.enumerated
                 * self.seconds_per_plan
@@ -238,7 +259,9 @@ class SellerAgent:
             query, self.node, coverage=dict(coverage)
         )
         cache.store(key, result)
-        return result, result.enumerated * self.seconds_per_plan
+        nominal = result.enumerated * self.seconds_per_plan
+        self._nominal_effort += nominal
+        return result, nominal
 
     # ------------------------------------------------------------------
     def _offers_for(

@@ -200,6 +200,31 @@ class TestBrokerDeterminism:
             asy.close()
         assert plan_signature(sim_payload) == plan_signature(async_payload)
 
+    def test_critpath_identical_across_clocks(self, arrivals):
+        """One session per service (no epoch sharing): the causal
+        critical-path decomposition is clock-independent to the byte,
+        and its phases tile the session's simulated time."""
+        sim = make_service(clock="sim")
+        asy = make_service(clock="async")
+        try:
+            sql = arrivals[0].query.sql()
+            sim_session = submit_sql(sim, sql)
+            asy_session = submit_sql(asy, sql)
+            assert sim_session.wait(timeout=120.0)
+            assert asy_session.wait(timeout=120.0)
+            sim_cp = sim.critpath_payload(sim_session.session_id)
+            asy_cp = asy.critpath_payload(asy_session.session_id)
+        finally:
+            sim.close()
+            asy.close()
+        assert json.dumps(sim_cp, sort_keys=True) == json.dumps(
+            asy_cp, sort_keys=True
+        )
+        assert sim_cp["total"] > 0.0
+        assert sum(sim_cp["phases"].values()) == pytest.approx(
+            sim_cp["total"], rel=1e-9
+        )
+
     def test_sessions_share_the_offer_cache(self, arrivals):
         """A repeated query hits pricing work cached by its predecessor."""
         service = make_service()
@@ -270,9 +295,12 @@ class TestExplain:
             assert session.wait(timeout=120.0)
             with pytest.raises(BrokerError) as err:
                 service.explain_payload(session.session_id)
+            with pytest.raises(BrokerError) as crit_err:
+                service.critpath_payload(session.session_id)
         finally:
             service.close()
         assert err.value.status == 409
+        assert crit_err.value.status == 409
 
 
 class TestRouter:
@@ -295,6 +323,9 @@ class TestRouter:
         assert status == 200 and payload["found"]
         status, payload = router.dispatch("GET", f"/sessions/{sid}/explain")
         assert status == 200 and payload["commodities"]
+        status, payload = router.dispatch("GET", f"/sessions/{sid}/critpath")
+        assert status == 200 and payload["total"] > 0.0
+        assert set(payload["phases"]) >= {"seller_compute", "buyer_dp"}
         status, payload = router.dispatch("GET", "/sessions")
         assert status == 200 and len(payload["sessions"]) == 1
         status, payload = router.dispatch("GET", "/metrics")
@@ -313,6 +344,8 @@ class TestRouter:
         status, payload = router.dispatch("GET", "/sessions/pending/result")
         assert status == 409 and "queued" in payload["error"]
         status, payload = router.dispatch("GET", "/sessions/pending/explain")
+        assert status == 409
+        status, payload = router.dispatch("GET", "/sessions/pending/critpath")
         assert status == 409
 
     def test_error_statuses(self, service):
